@@ -1,0 +1,57 @@
+"""Small reusable workloads timed by the benchmark suite."""
+
+from __future__ import annotations
+
+from repro.baseline import AutoGrader
+from repro.core.pipeline import Clara
+from repro.datasets import generate_corpus, get_problem
+from repro.frontend import parse_source
+
+__all__ = ["single_repair_workload", "autograder_workload", "clustering_workload"]
+
+
+def _small_clara(problem_name: str, n_correct: int = 12, seed: int = 5) -> tuple[Clara, object]:
+    problem = get_problem(problem_name)
+    corpus = generate_corpus(problem, n_correct, 1, seed=seed)
+    clara = Clara(cases=problem.cases, language=problem.language, entry=problem.entry)
+    clara.add_correct_sources(corpus.correct_sources)
+    return clara, corpus
+
+
+def single_repair_workload(problem_name: str = "derivatives"):
+    """Return a zero-argument callable performing one end-to-end repair."""
+    clara, corpus = _small_clara(problem_name)
+    incorrect = corpus.incorrect_sources[0]
+
+    def run():
+        return clara.repair_source(incorrect)
+
+    return run
+
+
+def autograder_workload(problem_name: str = "derivatives"):
+    """Return a callable performing one AutoGrader baseline repair."""
+    problem = get_problem(problem_name)
+    corpus = generate_corpus(problem, 4, 1, seed=5)
+    grader = AutoGrader(cases=problem.cases)
+    program = parse_source(
+        corpus.incorrect_sources[0], language=problem.language, entry=problem.entry
+    )
+
+    def run():
+        return grader.repair(program)
+
+    return run
+
+
+def clustering_workload(problem_name: str = "derivatives", n_correct: int = 12):
+    """Return a callable clustering a pool of correct solutions."""
+    problem = get_problem(problem_name)
+    corpus = generate_corpus(problem, n_correct, 0, seed=5)
+
+    def run():
+        clara = Clara(cases=problem.cases, language=problem.language, entry=problem.entry)
+        clara.add_correct_sources(corpus.correct_sources)
+        return clara.cluster_count
+
+    return run

@@ -1,0 +1,24 @@
+"""Benchmark E7 — expression provenance across cluster members (§6.2 "Clusters").
+
+The paper reports that around 50% of repairs combine expressions from at
+least two different correct solutions of the same cluster, and ~3% from at
+least three — the pay-off of clustering (diversity of repairs).  We measure
+the same statistic over the synthetic corpus; with a much smaller correct
+pool the fractions are lower, but multi-member repairs must exist.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.evalharness import provenance_statistics
+
+
+def test_cluster_provenance(benchmark, mooc_results, results_dir):
+    stats = benchmark(provenance_statistics, mooc_results)
+
+    (results_dir / "cluster_provenance.json").write_text(json.dumps(stats, indent=2) + "\n")
+    print("\nprovenance statistics:", stats)
+
+    assert stats["total"] > 0
+    assert 0.0 <= stats["at_least_three"] <= stats["at_least_two"] <= 1.0

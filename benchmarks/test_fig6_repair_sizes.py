@@ -1,0 +1,33 @@
+"""Benchmark E2 — Figure 6: histogram of relative repair sizes.
+
+The paper reports that 68% of repairs have relative size < 0.3 (53% < 0.2,
+25% < 0.1), i.e. Clara's repairs are overwhelmingly small, targeted changes
+rather than wholesale rewrites.  The benchmarked unit is the metric
+computation itself over the Table-1 experiment results.
+"""
+
+from __future__ import annotations
+
+from repro.evalharness import (
+    cumulative_fraction_below,
+    relative_size_histogram,
+    render_fig6,
+)
+
+
+def test_fig6_relative_repair_sizes(benchmark, mooc_results, results_dir):
+    histogram = benchmark(relative_size_histogram, mooc_results)
+
+    figure = render_fig6(mooc_results)
+    (results_dir / "fig6_relative_repair_sizes.txt").write_text(figure + "\n")
+    print("\n" + figure)
+
+    total = sum(histogram.values())
+    assert total > 0
+    # Shape: the distribution is dominated by small repairs.
+    assert cumulative_fraction_below(mooc_results, 0.3) >= 0.6
+    assert cumulative_fraction_below(mooc_results, 0.2) >= cumulative_fraction_below(
+        mooc_results, 0.1
+    )
+    # Nothing larger than the whole program (trivial repairs are not chosen).
+    assert histogram[">1.0"] <= total * 0.1

@@ -1,0 +1,45 @@
+"""Benchmark E3/E4 — Figure 7: comparison with the AutoGrader baseline.
+
+* Fig. 7(a): on attempts both tools repair, the number of modified expressions
+  is usually equal (580 vs 164 vs 83 in the paper).
+* Fig. 7(b): the distribution of modified expressions per repair — most of the
+  baseline's repairs modify a single expression and its share falls off faster
+  than Clara's.
+
+The benchmarked unit is one AutoGrader baseline repair search.
+"""
+
+from __future__ import annotations
+
+from _workloads import autograder_workload
+
+from repro.evalharness import (
+    autograder_comparison_counts,
+    modified_expression_distribution,
+    render_fig7a,
+    render_fig7b,
+)
+
+
+def test_fig7_autograder_comparison(benchmark, mooc_results, results_dir):
+    run = autograder_workload("derivatives")
+    benchmark(run)
+
+    fig7a = render_fig7a(mooc_results)
+    fig7b = render_fig7b(mooc_results)
+    (results_dir / "fig7_autograder_comparison.txt").write_text(fig7a + "\n\n" + fig7b + "\n")
+    print("\n" + fig7a + "\n\n" + fig7b)
+
+    counts = autograder_comparison_counts(mooc_results)
+    both = sum(counts.values())
+    if both:
+        # Shape of Fig. 7(a): "equal" dominates the comparison.
+        assert counts["equal"] >= max(counts["autograder_fewer"], counts["clara_fewer"])
+
+    clara_dist = modified_expression_distribution(mooc_results, tool="clara")
+    ag_dist = modified_expression_distribution(mooc_results, tool="autograder")
+    # Shape of Fig. 7(b): the baseline's repairs are dominated by
+    # single-expression modifications.
+    if sum(ag_dist.values()):
+        assert ag_dist["1"] >= max(v for k, v in ag_dist.items() if k != "1")
+    assert sum(clara_dist.values()) >= sum(ag_dist.values())

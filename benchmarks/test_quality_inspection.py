@@ -1,0 +1,31 @@
+"""Benchmark E6 — repair quality proxy (§6.2, result (3)).
+
+The paper's authors manually inspected 100 random repairs and judged 81% to
+be small, natural repairs.  Without human inspection we use an automated
+proxy: a repair counts as good quality when the repaired program passes the
+full test suite and the relative repair size stays below 0.35.  The benchmark
+times the proxy computation; the assertions check the shape (a large majority
+of repairs are good quality, and essentially all repaired programs pass the
+tests, as guaranteed by Theorem 5.3 over the test inputs).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.evalharness import quality_proxy
+
+
+def test_quality_proxy(benchmark, mooc_results, results_dir):
+    proxy = benchmark(quality_proxy, mooc_results)
+
+    (results_dir / "quality_proxy.json").write_text(json.dumps(proxy, indent=2) + "\n")
+    print("\nquality proxy:", proxy)
+
+    assert proxy["total"] > 0
+    # Paper: 81% good-quality repairs.
+    assert proxy["good_quality"] >= 0.6
+    # Soundness over the test inputs: repaired programs pass the tests.
+    assert proxy["passes"] >= 0.95
+    # Trivial whole-program rewrites are rare.
+    assert proxy["large_rewrite"] <= 0.25

@@ -1,0 +1,39 @@
+"""Benchmark E1 — Table 1: MOOC evaluation (repair rates, cluster counts, times).
+
+Regenerates the per-problem rows of Table 1 (Clara vs the AutoGrader-style
+baseline) on the synthetic corpus and writes them to ``results/table1.txt``.
+The benchmarked unit is one end-to-end repair of an incorrect ``derivatives``
+attempt (the paper's headline "3.2 s on average" measurement).
+"""
+
+from __future__ import annotations
+
+from _workloads import single_repair_workload
+
+from repro.evalharness import format_failure_breakdown, format_table1
+
+
+def test_table1_mooc(benchmark, mooc_results, results_dir):
+    run = single_repair_workload("derivatives")
+    outcome = benchmark(run)
+    assert outcome.status in ("repaired", "no-structural-match", "unsupported")
+
+    table = format_table1(mooc_results, with_autograder=True)
+    breakdown = format_failure_breakdown(mooc_results)
+    (results_dir / "table1.txt").write_text(table + "\n\n" + breakdown + "\n")
+    print("\n" + table + "\n" + breakdown)
+
+    total_incorrect = sum(r.n_incorrect for r in mooc_results)
+    total_repaired = sum(r.n_repaired for r in mooc_results)
+    total_ag = sum(r.n_autograder_repaired for r in mooc_results)
+
+    # Shape of Table 1: Clara repairs the overwhelming majority of attempts
+    # (97.44% in the paper), far more than the error-model baseline (19.29%).
+    assert total_incorrect > 0
+    assert total_repaired / total_incorrect >= 0.75
+    assert total_repaired > total_ag
+    # Every problem produces more than one cluster of correct solutions.
+    assert all(r.n_clusters >= 2 for r in mooc_results)
+    # Repairs are generated at interactive speed (paper: 3.2 s average on a
+    # 2012-era server; our corpus and machine are smaller/faster).
+    assert all(r.avg_time < 30.0 for r in mooc_results)

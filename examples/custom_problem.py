@@ -1,0 +1,68 @@
+"""Using the library on your own assignment.
+
+Shows the full public API surface for a brand-new problem that is not part of
+the paper's benchmark: define test cases, provide a handful of correct
+solutions, and repair student attempts.  Run with::
+
+    python examples/custom_problem.py
+"""
+
+from repro import Clara, InputCase
+from repro.core.inputs import is_correct
+from repro.frontend import parse_source
+
+CORRECT_SOLUTIONS = [
+    """
+def countEven(numbers):
+    count = 0
+    for n in numbers:
+        if n % 2 == 0:
+            count += 1
+    return count
+""",
+    """
+def countEven(numbers):
+    total = 0
+    i = 0
+    while i < len(numbers):
+        if numbers[i] % 2 == 0:
+            total = total + 1
+        i += 1
+    return total
+""",
+]
+
+STUDENT_ATTEMPT = """
+def countEven(numbers):
+    count = 0
+    for n in numbers:
+        if n % 2 == 1:
+            count += 1
+    return count
+"""
+
+
+def main() -> None:
+    cases = [
+        InputCase(args=(values,), expected_return=sum(1 for v in values if v % 2 == 0))
+        for values in ([], [1], [2], [1, 2, 3, 4], [7, 7, 8], list(range(10)))
+    ]
+
+    clara = Clara(cases)
+    clara.add_correct_sources(CORRECT_SOLUTIONS)
+
+    outcome = clara.repair_source(STUDENT_ATTEMPT)
+    print(f"status: {outcome.status}, repair cost {outcome.repair.cost:.0f}")
+    print(outcome.feedback.text())
+
+    repaired = outcome.repair.repaired_program
+    print("\nrepaired program passes the test suite:", is_correct(repaired, cases))
+
+    # The lower-level API: parse and inspect the program model directly.
+    model = parse_source(STUDENT_ATTEMPT)
+    print(f"\nmodel of the student attempt ({len(model.locations)} locations):")
+    print(model.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Quickstart: repair the paper's running example (Fig. 2).
+
+Clusters two correct solutions of the ``derivatives`` assignment and repairs
+the two incorrect attempts I1 and I2 from the paper, printing the generated
+feedback.  Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Clara, InputCase
+
+CORRECT_1 = """
+def computeDeriv(poly):
+    result = []
+    for e in range(1, len(poly)):
+        result.append(float(poly[e]*e))
+    if result == []:
+        return [0.0]
+    else:
+        return result
+"""
+
+CORRECT_2 = """
+def computeDeriv(poly):
+    deriv = []
+    for i in range(1, len(poly)):
+        deriv += [float(i)*poly[i]]
+    if len(deriv) == 0:
+        return [0.0]
+    return deriv
+"""
+
+INCORRECT_I1 = """
+def computeDeriv(poly):
+    new = []
+    for i in range(1, len(poly)):
+        new.append(float(i*poly[i]))
+    if new == []:
+        return 0.0
+    return new
+"""
+
+INCORRECT_I2 = """
+def computeDeriv(poly):
+    result = []
+    for i in range(len(poly)):
+        result[i] = float(i*poly[i])
+    return result
+"""
+
+
+def expected_derivative(poly):
+    result = [float(i * poly[i]) for i in range(1, len(poly))]
+    return result if result else [0.0]
+
+
+def main() -> None:
+    inputs = [[6.3, 7.6, 12.14], [], [1.0], [1.0, 2.0, 3.0, 4.0], [0.0, 5.0]]
+    cases = [
+        InputCase(args=(list(poly),), expected_return=expected_derivative(poly))
+        for poly in inputs
+    ]
+
+    clara = Clara(cases)
+    clara.add_correct_sources([CORRECT_1, CORRECT_2])
+    print(f"clustered 2 correct solutions into {clara.cluster_count} cluster(s)\n")
+
+    for name, source in (("I1", INCORRECT_I1), ("I2", INCORRECT_I2)):
+        outcome = clara.repair_source(source)
+        print(f"=== attempt {name}: {outcome.status} "
+              f"(cost {outcome.repair.cost:.0f}, "
+              f"relative size {outcome.repair.relative_size():.2f})")
+        print(outcome.feedback.text())
+        print()
+
+
+if __name__ == "__main__":
+    main()

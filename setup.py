@@ -1,0 +1,14 @@
+"""Setup shim.
+
+The execution environment has an older setuptools without the ``wheel``
+package, so PEP 517 editable installs fail with ``invalid command
+'bdist_wheel'``.  Keeping a legacy ``setup.py`` allows::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+which is what the README and CI instructions use.
+"""
+
+from setuptools import setup
+
+setup()

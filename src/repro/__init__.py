@@ -1,0 +1,49 @@
+"""repro — reproduction of Clara (PLDI 2018).
+
+Automated clustering of correct student solutions and automated repair of
+incorrect attempts for introductory programming assignments, following
+Gulwani, Radiček and Zuleger, *Automated Clustering and Program Repair for
+Introductory Programming Assignments*, PLDI 2018.
+
+Public API highlights:
+
+* :class:`repro.core.Clara` — the end-to-end pipeline (cluster + repair +
+  feedback).
+* :class:`repro.core.InputCase` — a test input with expected behaviour.
+* :func:`repro.frontend.parse_source` — Python / mini-C front-ends.
+* :mod:`repro.datasets` — the nine assignments of the paper with synthetic
+  student attempts.
+* :mod:`repro.evalharness` — experiment runners regenerating every table and
+  figure of the evaluation section.
+"""
+
+from .core import (
+    Clara,
+    Feedback,
+    InputCase,
+    Repair,
+    RepairOutcome,
+    RepairStatus,
+    cluster_programs,
+    find_best_repair,
+    generate_feedback,
+    is_correct,
+)
+from .frontend import parse_source
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Clara",
+    "Feedback",
+    "InputCase",
+    "Repair",
+    "RepairOutcome",
+    "RepairStatus",
+    "cluster_programs",
+    "find_best_repair",
+    "generate_feedback",
+    "is_correct",
+    "parse_source",
+    "__version__",
+]

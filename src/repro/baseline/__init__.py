@@ -1,0 +1,12 @@
+"""AutoGrader-style baseline: error-model rewrite search."""
+
+from .autograder import AutoGrader, AutoGraderRepair
+from .error_model import RewriteRule, applicable_rewrites, default_error_model
+
+__all__ = [
+    "AutoGrader",
+    "AutoGraderRepair",
+    "RewriteRule",
+    "applicable_rewrites",
+    "default_error_model",
+]

@@ -1,0 +1,158 @@
+"""Error models for the AutoGrader-style baseline (Singh et al., PLDI 2013).
+
+AutoGrader takes an instructor-provided *error model*: a set of expression
+rewrite rules describing the corrections students typically need.  The
+baseline searches for a minimal set of rule applications that makes the
+program pass the test suite.
+
+Crucially -- and this is the comparison point the paper makes in §6.2.1 and
+Appendix B -- the error model can only rewrite existing expressions.  It can
+not introduce fresh variables or new statements, which is why AutoGrader fails
+on the "big conceptual error" attempts that Clara repairs.
+
+Each rule maps an expression node to a list of alternative nodes.  Rules are
+deliberately generic (off-by-one constants, comparison operator flips, range
+bound fixes, operand swaps, variable substitutions), mirroring the published
+error models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..model.expr import Const, Expr, Op, Var
+
+__all__ = ["RewriteRule", "default_error_model", "applicable_rewrites"]
+
+
+@dataclass(frozen=True)
+class RewriteRule:
+    """A named expression rewrite rule."""
+
+    name: str
+    apply: Callable[[Expr, Sequence[str]], list[Expr]]
+
+    def alternatives(self, node: Expr, variables: Sequence[str]) -> list[Expr]:
+        """Alternative nodes for ``node`` (may be empty)."""
+        return self.apply(node, variables)
+
+
+# -- individual rules -----------------------------------------------------------
+
+
+def _integer_constants(node: Expr, _variables: Sequence[str]) -> list[Expr]:
+    """k -> k±1, 0, 1 (the classic off-by-one family)."""
+    if not isinstance(node, Const):
+        return []
+    value = node.value
+    if not isinstance(value, int) or isinstance(value, bool):
+        return []
+    candidates = {value + 1, value - 1, 0, 1}
+    candidates.discard(value)
+    return [Const(v) for v in sorted(candidates)]
+
+
+def _comparison_operators(node: Expr, _variables: Sequence[str]) -> list[Expr]:
+    """Relax/tighten/negate comparison operators."""
+    swaps = {
+        "Lt": ("LtE", "Gt"),
+        "LtE": ("Lt", "GtE"),
+        "Gt": ("GtE", "Lt"),
+        "GtE": ("Gt", "LtE"),
+        "Eq": ("NotEq",),
+        "NotEq": ("Eq",),
+    }
+    if isinstance(node, Op) and node.name in swaps and len(node.args) == 2:
+        return [Op(name, *node.args) for name in swaps[node.name]]
+    return []
+
+
+def _arithmetic_operators(node: Expr, _variables: Sequence[str]) -> list[Expr]:
+    swaps = {
+        "Add": ("Sub",),
+        "Sub": ("Add",),
+        "Mult": ("Add", "Pow"),
+        "Div": ("FloorDiv", "Mult"),
+        "FloorDiv": ("Div", "Mod"),
+        "Mod": ("FloorDiv",),
+    }
+    if isinstance(node, Op) and node.name in swaps and len(node.args) == 2:
+        return [Op(name, *node.args) for name in swaps[node.name]]
+    return []
+
+
+def _swap_operands(node: Expr, _variables: Sequence[str]) -> list[Expr]:
+    if isinstance(node, Op) and node.name in ("Sub", "Div", "FloorDiv", "Mod", "Lt", "Gt", "LtE", "GtE") and len(node.args) == 2:
+        return [Op(node.name, node.args[1], node.args[0])]
+    return []
+
+
+def _range_bounds(node: Expr, _variables: Sequence[str]) -> list[Expr]:
+    """range(a) <-> range(1, a); range(a, b) <-> range(a+1, b) etc."""
+    if not isinstance(node, Op) or node.name not in ("range", "xrange"):
+        return []
+    out: list[Expr] = []
+    if len(node.args) == 1:
+        out.append(Op(node.name, Const(1), node.args[0]))
+        out.append(Op(node.name, Const(0), node.args[0]))
+    elif len(node.args) == 2:
+        out.append(Op(node.name, node.args[1]))
+        out.append(Op(node.name, Const(0), node.args[1]))
+        out.append(Op(node.name, Const(1), node.args[1]))
+        out.append(Op(node.name, node.args[0], Op("Add", node.args[1], Const(1))))
+    elif len(node.args) == 3:
+        out.append(Op(node.name, node.args[0], node.args[1]))
+    return [candidate for candidate in out if candidate != node]
+
+
+def _variable_substitution(node: Expr, variables: Sequence[str]) -> list[Expr]:
+    """Replace a variable occurrence by another program variable."""
+    if not isinstance(node, Var):
+        return []
+    return [Var(name) for name in variables if name != node.name and not name.startswith("$")]
+
+
+def _wrap_in_list(node: Expr, _variables: Sequence[str]) -> list[Expr]:
+    """v -> [v] (returning a scalar instead of a list is a common slip)."""
+    if isinstance(node, Const) and isinstance(node.value, (int, float)) and not isinstance(node.value, bool):
+        return [Const([node.value])]
+    return []
+
+
+def _float_wrap(node: Expr, _variables: Sequence[str]) -> list[Expr]:
+    """e -> float(e) and float(e) -> e."""
+    if isinstance(node, Op) and node.name == "float" and len(node.args) == 1:
+        return [node.args[0]]
+    if isinstance(node, (Var, Op)) and not (isinstance(node, Op) and node.name == "float"):
+        return [Op("float", node)]
+    return []
+
+
+def default_error_model() -> list[RewriteRule]:
+    """The generic error model used in the Table 1 comparison."""
+    return [
+        RewriteRule("integer-constants", _integer_constants),
+        RewriteRule("comparison-operators", _comparison_operators),
+        RewriteRule("arithmetic-operators", _arithmetic_operators),
+        RewriteRule("swap-operands", _swap_operands),
+        RewriteRule("range-bounds", _range_bounds),
+        RewriteRule("variable-substitution", _variable_substitution),
+        RewriteRule("wrap-scalar-in-list", _wrap_in_list),
+        RewriteRule("float-wrap", _float_wrap),
+    ]
+
+
+def applicable_rewrites(
+    expr: Expr, rules: Iterable[RewriteRule], variables: Sequence[str]
+) -> list[tuple[tuple[int, ...], Expr, str]]:
+    """All single rewrites applicable anywhere inside ``expr``.
+
+    Returns tuples ``(path, replacement_subexpression, rule_name)``.
+    """
+    out: list[tuple[tuple[int, ...], Expr, str]] = []
+    for path, node in expr.paths():
+        for rule in rules:
+            for alternative in rule.alternatives(node, variables):
+                out.append((path, alternative, rule.name))
+    return out

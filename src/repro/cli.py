@@ -1,0 +1,139 @@
+"""Command-line interface.
+
+Examples::
+
+    repro-clara table1 --correct 40 --incorrect 20
+    repro-clara table2 --correct 30 --incorrect 15
+    repro-clara fig6
+    repro-clara repair --problem derivatives --file attempt.py
+    repro-clara list-problems
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core.pipeline import Clara
+from .datasets import all_problems, generate_corpus, get_problem
+from .evalharness import (
+    format_failure_breakdown,
+    format_table1,
+    format_table2,
+    render_fig6,
+    render_fig7a,
+    render_fig7b,
+    run_experiment,
+    run_user_study,
+)
+
+__all__ = ["main"]
+
+
+def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--correct", type=int, default=None, help="correct attempts per problem")
+    parser.add_argument("--incorrect", type=int, default=None, help="incorrect attempts per problem")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    problems = [spec.name for spec in all_problems(experiment="mooc")]
+    results = run_experiment(
+        problems,
+        n_correct=args.correct,
+        n_incorrect=args.incorrect,
+        seed=args.seed,
+        run_autograder=not args.no_autograder,
+    )
+    print(format_table1(results, with_autograder=not args.no_autograder))
+    print()
+    print(format_failure_breakdown(results))
+    if not args.no_autograder:
+        print()
+        print(render_fig7a(results))
+        print()
+        print(render_fig7b(results))
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    problems = [spec.name for spec in all_problems(experiment="mooc")]
+    results = run_experiment(
+        problems,
+        n_correct=args.correct,
+        n_incorrect=args.incorrect,
+        seed=args.seed,
+        run_autograder=False,
+    )
+    print(render_fig6(results))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    rows = run_user_study(
+        n_correct=args.correct, n_incorrect=args.incorrect, seed=args.seed
+    )
+    print(format_table2(rows))
+    return 0
+
+
+def _cmd_list_problems(_args: argparse.Namespace) -> int:
+    for spec in all_problems():
+        print(f"{spec.name:<20} [{spec.language}] {spec.experiment:<11} {spec.description}")
+    return 0
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    spec = get_problem(args.problem)
+    source = Path(args.file).read_text()
+    corpus = generate_corpus(spec, args.correct, 0, seed=args.seed)
+    clara = Clara(cases=spec.cases, language=spec.language, entry=spec.entry)
+    clara.add_correct_sources(corpus.correct_sources)
+    outcome = clara.repair_source(source)
+    print(f"status: {outcome.status}  ({outcome.elapsed:.2f}s, {clara.cluster_count} clusters)")
+    if outcome.feedback is not None:
+        print(outcome.feedback.text())
+    return 0 if outcome.succeeded else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-clara",
+        description="Clara (PLDI 2018) reproduction: clustering and repair of student programs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table1 = sub.add_parser("table1", help="reproduce Table 1 (MOOC evaluation)")
+    _add_scale_arguments(p_table1)
+    p_table1.add_argument("--no-autograder", action="store_true")
+    p_table1.set_defaults(func=_cmd_table1)
+
+    p_fig6 = sub.add_parser("fig6", help="reproduce Figure 6 (relative repair sizes)")
+    _add_scale_arguments(p_fig6)
+    p_fig6.set_defaults(func=_cmd_fig6)
+
+    p_table2 = sub.add_parser("table2", help="reproduce Table 2 (user study)")
+    _add_scale_arguments(p_table2)
+    p_table2.set_defaults(func=_cmd_table2)
+
+    p_list = sub.add_parser("list-problems", help="list the nine assignments")
+    p_list.set_defaults(func=_cmd_list_problems)
+
+    p_repair = sub.add_parser("repair", help="repair a single attempt from a file")
+    p_repair.add_argument("--problem", required=True)
+    p_repair.add_argument("--file", required=True)
+    _add_scale_arguments(p_repair)
+    p_repair.set_defaults(func=_cmd_repair)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

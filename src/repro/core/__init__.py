@@ -1,0 +1,38 @@
+"""Core Clara algorithms: matching, clustering, repair, feedback, pipeline."""
+
+from .clustering import Cluster, ClusteringResult, cluster_programs
+from .feedback import Feedback, FeedbackItem, GENERIC_FEEDBACK_THRESHOLD, generate_feedback
+from .inputs import InputCase, is_correct, passes_case, program_traces, run_case
+from .localrepair import LocalRepairCandidate, expressions_match, generate_local_repairs
+from .matching import MatchResult, find_matching, programs_match, structural_match
+from .pipeline import Clara, RepairOutcome, RepairStatus
+from .repair import Repair, RepairAction, find_best_repair, repair_against_cluster
+
+__all__ = [
+    "Cluster",
+    "ClusteringResult",
+    "cluster_programs",
+    "Feedback",
+    "FeedbackItem",
+    "GENERIC_FEEDBACK_THRESHOLD",
+    "generate_feedback",
+    "InputCase",
+    "is_correct",
+    "passes_case",
+    "program_traces",
+    "run_case",
+    "LocalRepairCandidate",
+    "expressions_match",
+    "generate_local_repairs",
+    "MatchResult",
+    "find_matching",
+    "programs_match",
+    "structural_match",
+    "Clara",
+    "RepairOutcome",
+    "RepairStatus",
+    "Repair",
+    "RepairAction",
+    "find_best_repair",
+    "repair_against_cluster",
+]

@@ -1,0 +1,153 @@
+"""Clustering of correct student solutions (paper §4, Def. 4.7).
+
+Clusters are the equivalence classes of the matching relation ``∼_I``.  The
+clusterer processes correct programs one by one, matching each against the
+representative of every existing cluster; on a match the program joins the
+cluster and its expressions (translated into the representative's variables
+via the matching witness) are added to the cluster's expression pools
+``E_C(ℓ, v)``, which the repair algorithm later draws from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..model.expr import Expr, Var
+from ..model.program import Program
+from ..model.trace import Trace
+from .inputs import InputCase, program_traces
+from .matching import MatchResult, find_matching
+
+__all__ = ["ClusterExpression", "Cluster", "ClusteringResult", "cluster_programs"]
+
+
+@dataclass(frozen=True)
+class ClusterExpression:
+    """An expression contributed to a pool, with provenance.
+
+    Attributes:
+        expr: The expression, already translated to range over the
+            representative's variables.
+        member_index: Index (within the cluster's ``members`` list) of the
+            solution the expression came from.
+    """
+
+    expr: Expr
+    member_index: int
+
+
+@dataclass
+class Cluster:
+    """One equivalence class of ``∼_I`` with its representative and pools."""
+
+    cluster_id: int
+    representative: Program
+    representative_traces: list[Trace]
+    members: list[Program] = field(default_factory=list)
+    #: ``(loc_id, var) -> list of distinct expressions`` over representative
+    #: variables (the paper's ``E_C(ℓ, v)``).
+    expressions: dict[tuple[int, str], list[ClusterExpression]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def expressions_for(self, loc_id: int, var: str) -> list[ClusterExpression]:
+        return self.expressions.get((loc_id, var), [])
+
+    def distinct_expression_count(self, loc_id: int, var: str) -> int:
+        return len(self.expressions_for(loc_id, var))
+
+    def add_member(self, program: Program, witness: MatchResult) -> None:
+        """Add a member and merge its expressions into the pools.
+
+        ``witness`` maps the member's variables/locations to the
+        representative's.
+        """
+        member_index = len(self.members)
+        self.members.append(program)
+        rename = dict(witness.variable_map)
+        for member_loc, member_location in program.locations.items():
+            rep_loc = witness.location_map[member_loc]
+            for var, expr in member_location.updates.items():
+                rep_var = rename.get(var, var)
+                translated = expr.rename_vars(rename)
+                key = (rep_loc, rep_var)
+                pool = self.expressions.setdefault(key, [])
+                if all(existing.expr != translated for existing in pool):
+                    pool.append(ClusterExpression(translated, member_index))
+
+
+@dataclass
+class ClusteringResult:
+    """Clusters plus per-program failure diagnostics."""
+
+    clusters: list[Cluster]
+    #: Programs that could not be clustered (index, reason).
+    failures: list[tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def cluster_count(self) -> int:
+        return len(self.clusters)
+
+    def total_members(self) -> int:
+        return sum(cluster.size for cluster in self.clusters)
+
+    def sorted_by_size(self) -> list[Cluster]:
+        return sorted(self.clusters, key=lambda c: -c.size)
+
+
+def cluster_programs(
+    programs: Iterable[Program],
+    cases: Sequence[InputCase],
+) -> ClusteringResult:
+    """Cluster correct programs by dynamic equivalence.
+
+    Programs are processed in order; each is matched against existing cluster
+    representatives and joins the first cluster it matches (``∼_I`` is an
+    equivalence relation, so the first match is the only possible one up to
+    symmetry).  Programs whose execution fails outright are reported in
+    ``failures`` instead of silently dropped.
+    """
+    clusters: list[Cluster] = []
+    failures: list[tuple[int, str]] = []
+
+    for index, program in enumerate(programs):
+        try:
+            traces = program_traces(program, cases)
+        except Exception as exc:  # noqa: BLE001 - defensive: report, don't crash
+            failures.append((index, f"execution error: {exc}"))
+            continue
+
+        placed = False
+        for cluster in clusters:
+            witness = find_matching(
+                program,
+                cluster.representative,
+                cases,
+                query_traces=traces,
+                base_traces=cluster.representative_traces,
+            )
+            if witness is not None:
+                cluster.add_member(program, witness)
+                placed = True
+                break
+        if placed:
+            continue
+
+        cluster = Cluster(
+            cluster_id=len(clusters),
+            representative=program,
+            representative_traces=list(traces),
+        )
+        identity = MatchResult(
+            variable_map={v: v for v in program.variables},
+            location_map={lid: lid for lid in program.location_ids()},
+        )
+        cluster.add_member(program, identity)
+        clusters.append(cluster)
+
+    return ClusteringResult(clusters=clusters, failures=failures)

@@ -1,0 +1,143 @@
+"""Textual feedback generation (paper §6.1 "Feedback generation").
+
+The tool in the paper outputs "the location and a textual description of the
+required modifications", very much like the examples in Fig. 2(g)/(h) and
+Figs. 8-10 of the appendix.  For very large repairs the user study (§6.3,
+"Note") falls back to a generic strategy message because detailed feedback on
+an essentially rewritten program is not useful; we reproduce that behaviour
+with the same default cost threshold (100).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..model.expr import render_expression
+from ..model.program import Program
+from .repair import Repair, RepairAction
+
+__all__ = ["FeedbackItem", "Feedback", "generate_feedback", "GENERIC_FEEDBACK_THRESHOLD"]
+
+#: Repairs costlier than this produce generic strategy feedback (paper §6.3).
+GENERIC_FEEDBACK_THRESHOLD = 100
+
+_GENERIC_MESSAGE = (
+    "Your attempt is quite far from a working solution. Re-read the problem "
+    "statement, start from the overall structure (input, loop, output), and "
+    "test your program on the provided examples step by step."
+)
+
+
+@dataclass(frozen=True)
+class FeedbackItem:
+    """One feedback sentence tied to a source location."""
+
+    message: str
+    line: int | None = None
+
+    def __str__(self) -> str:
+        return self.message
+
+
+@dataclass
+class Feedback:
+    """Feedback shown to the student for one attempt."""
+
+    items: list[FeedbackItem]
+    generic: bool
+    cost: float
+
+    def text(self) -> str:
+        return "\n".join(f"{i + 1}. {item.message}" for i, item in enumerate(self.items))
+
+    @property
+    def is_repair_based(self) -> bool:
+        return not self.generic
+
+
+def _describe_location(action: RepairAction) -> str:
+    names = {
+        "entry": "at the beginning of the function",
+        "loop-cond": "in the loop condition",
+        "loop-body": "inside the loop body",
+        "after-loop": "after the loop",
+        "if-cond": "in the branch condition",
+        "if-then": "in the then-branch",
+        "if-else": "in the else-branch",
+        "if-join": "after the if statement",
+    }
+    where = names.get(action.location_name, f"at location {action.loc_id}")
+    if action.line is not None:
+        return f"{where} (around line {action.line})"
+    return where
+
+
+def _describe_variable(action: RepairAction) -> str:
+    if action.var == "$ret":
+        return "the return value"
+    if action.var == "$cond":
+        return "the condition"
+    if action.var == "$out":
+        return "the printed output"
+    if action.var.startswith("$iter"):
+        return "the loop iterator expression"
+    return f"variable '{action.var}'"
+
+
+def describe_action(action: RepairAction) -> FeedbackItem:
+    """Render a single repair action as a feedback sentence."""
+    target = _describe_variable(action)
+    where = _describe_location(action)
+    if action.kind == "modify":
+        if action.old_expr is None:
+            message = (
+                f"Add an assignment to {target} {where}: "
+                f"{render_expression(action.new_expr)}."
+            )
+        else:
+            message = (
+                f"In the expression for {target} {where}, change "
+                f"{render_expression(action.old_expr)} to "
+                f"{render_expression(action.new_expr)}."
+            )
+    elif action.kind == "remove-assignment":
+        message = f"Remove the assignment to {target} {where}."
+    elif action.kind == "add":
+        message = (
+            f"Add a new variable '{action.var}' with the assignment "
+            f"{action.var} = {render_expression(action.new_expr)} {where}."
+        )
+    elif action.kind == "delete":
+        message = f"Delete the assignment to {target} {where}; it is not needed."
+    else:  # pragma: no cover - defensive
+        message = f"Adjust {target} {where}."
+    return FeedbackItem(message=message, line=action.line)
+
+
+def generate_feedback(
+    repair: Repair,
+    program: Program | None = None,
+    *,
+    generic_threshold: float = GENERIC_FEEDBACK_THRESHOLD,
+) -> Feedback:
+    """Turn a repair into student-facing feedback.
+
+    Args:
+        repair: The minimal repair found by the pipeline.
+        program: The original (incorrect) program; reserved for richer
+            feedback rendering.
+        generic_threshold: Cost above which a generic strategy message is
+            produced instead of per-expression feedback.
+    """
+    if repair.cost > generic_threshold:
+        return Feedback(
+            items=[FeedbackItem(_GENERIC_MESSAGE)], generic=True, cost=repair.cost
+        )
+    if not repair.actions:
+        return Feedback(
+            items=[FeedbackItem("Your program already matches a correct solution.")],
+            generic=False,
+            cost=repair.cost,
+        )
+    items = [describe_action(action) for action in repair.actions]
+    return Feedback(items=items, generic=False, cost=repair.cost)

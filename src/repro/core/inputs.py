@@ -1,0 +1,111 @@
+"""Test inputs and correctness checking.
+
+The paper distinguishes correct from incorrect attempts "by running them on a
+set of inputs, and comparing their output to the expected output" (§1,
+footnote 1).  :class:`InputCase` is one such input together with the expected
+observable behaviour: a return value (Python assignments) and/or printed
+output (C assignments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..interpreter.executor import ExecutionLimits, execute, printed_output, returned_value
+from ..interpreter.values import UNDEF, is_undef, values_equal
+from ..model.expr import VAR_STDIN
+from ..model.program import Program
+from ..model.trace import Trace
+
+__all__ = ["InputCase", "run_case", "passes_case", "is_correct", "program_traces"]
+
+#: Marker meaning "this case does not constrain that observable".
+_UNCONSTRAINED = object()
+
+
+@dataclass(frozen=True)
+class InputCase:
+    """One test input with its expected behaviour.
+
+    Attributes:
+        args: Positional arguments bound to the program's parameters.
+        stdin: Values available to ``scanf``-style reads (C programs).
+        expected_return: Expected return value, or unconstrained.
+        expected_output: Expected printed output, or unconstrained.
+    """
+
+    args: tuple = ()
+    stdin: tuple = ()
+    expected_return: object = _UNCONSTRAINED
+    expected_output: object = _UNCONSTRAINED
+
+    def memory_for(self, program: Program) -> dict[str, object]:
+        """Bind the case to a program's parameters (positionally)."""
+        memory: dict[str, object] = {}
+        for name, value in zip(program.params, self.args):
+            memory[name] = value
+        if self.stdin:
+            memory[VAR_STDIN] = list(self.stdin)
+        return memory
+
+    def checks_return(self) -> bool:
+        return self.expected_return is not _UNCONSTRAINED
+
+    def checks_output(self) -> bool:
+        return self.expected_output is not _UNCONSTRAINED
+
+    def describe(self) -> str:
+        parts = []
+        if self.args:
+            parts.append(", ".join(repr(a) for a in self.args))
+        if self.stdin:
+            parts.append(f"stdin={list(self.stdin)!r}")
+        return "(" + "; ".join(parts) + ")"
+
+
+def run_case(
+    program: Program, case: InputCase, limits: ExecutionLimits | None = None
+) -> Trace:
+    """Execute ``program`` on one case and return the trace."""
+    return execute(program, case.memory_for(program), limits)
+
+
+def passes_case(
+    program: Program, case: InputCase, limits: ExecutionLimits | None = None
+) -> bool:
+    """Return ``True`` when the program's behaviour matches the case."""
+    trace = run_case(program, case, limits)
+    return trace_passes_case(trace, case)
+
+
+def trace_passes_case(trace: Trace, case: InputCase) -> bool:
+    """Check an already computed trace against a case's expectations."""
+    if trace.aborted:
+        return False
+    if case.checks_return():
+        actual = returned_value(trace)
+        if is_undef(actual) or not values_equal(actual, case.expected_return):
+            return False
+    if case.checks_output():
+        if printed_output(trace) != case.expected_output:
+            return False
+    return True
+
+
+def is_correct(
+    program: Program,
+    cases: Sequence[InputCase],
+    limits: ExecutionLimits | None = None,
+) -> bool:
+    """A program is correct when it passes every case."""
+    return all(passes_case(program, case, limits) for case in cases)
+
+
+def program_traces(
+    program: Program,
+    cases: Sequence[InputCase],
+    limits: ExecutionLimits | None = None,
+) -> list[Trace]:
+    """Execute a program on every case (used by matching and repair)."""
+    return [run_case(program, case, limits) for case in cases]

@@ -1,0 +1,356 @@
+"""Local repair generation (paper §5, Def. 5.1/5.4 and Fig. 5 lines 4-14).
+
+For every location/variable pair of the implementation, a set of *local
+repair candidates* is generated:
+
+* ``(ω, •)`` candidates keep the implementation expression unchanged; they
+  exist when the expression already matches the corresponding representative
+  expression under some partial variable relation ω (cost 0);
+* ``(ω, e)`` candidates replace the implementation expression with an
+  expression ``e`` drawn from the cluster's expression pool, translated to
+  range over implementation variables; their cost is the tree edit distance
+  between the old and new expression.
+
+Partial variable relations are enumerated only over the variables occurring
+in the expression at hand (plus the assigned variable), which the paper notes
+keeps the enumeration feasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..interpreter.evaluator import evaluate
+from ..interpreter.values import values_equal
+from ..model.expr import Expr, Var
+from ..model.program import Program
+from ..model.trace import Trace
+from ..ted import expr_edit_distance
+from .clustering import Cluster
+from .matching import FIXED_VARS, variables_for_matching
+
+__all__ = [
+    "LocalRepairCandidate",
+    "expressions_match",
+    "enumerate_partial_relations",
+    "generate_local_repairs",
+    "Site",
+]
+
+#: Guard against combinatorial blow-up when an expression mentions unusually
+#: many variables (student code in intro courses rarely exceeds 3-4).
+MAX_RELATIONS_PER_EXPRESSION = 4096
+
+
+@dataclass(frozen=True)
+class LocalRepairCandidate:
+    """One possible local repair for an implementation site ``(loc, var)``.
+
+    Attributes:
+        loc_id: Implementation location.
+        var: Implementation variable (the paper's ``v2``).
+        rep_var: Related representative variable (the paper's ``v1``).
+        omega: Partial variable relation, implementation variable →
+            representative variable, restricted to non-fixed variables.
+        new_expr: ``None`` to keep the implementation expression (the paper's
+            ``•``); otherwise the replacement expression over implementation
+            variables.
+        cost: Tree edit distance between old and new expression (0 for keep).
+        provenance: Indices of cluster members whose expressions produced
+            this candidate (empty for keep candidates).
+    """
+
+    loc_id: int
+    var: str
+    rep_var: str
+    omega: tuple[tuple[str, str], ...]
+    new_expr: Expr | None
+    cost: int
+    provenance: frozenset[int] = frozenset()
+
+    @property
+    def keeps_original(self) -> bool:
+        return self.new_expr is None
+
+
+@dataclass(frozen=True)
+class Site:
+    """An implementation location/variable pair to be repaired."""
+
+    loc_id: int
+    var: str
+    fixed: bool  # True when ``var`` is a fixed special variable
+
+
+def expressions_match(
+    candidate: Expr,
+    reference: Expr,
+    traces: Sequence[Trace],
+    loc_id: int,
+) -> bool:
+    """Expression matching ``candidate ≃_{Γ,ℓ} reference`` (Def. 4.5).
+
+    Both expressions must range over the representative's variables; they are
+    evaluated on the pre-state of every visit to ``loc_id`` in the
+    representative traces.
+    """
+    if candidate == reference:
+        return True
+    for trace in traces:
+        for step in trace.steps:
+            if step.loc_id != loc_id:
+                continue
+            left = evaluate(candidate, step.pre)
+            right = evaluate(reference, step.pre)
+            if not values_equal(left, right):
+                return False
+    return True
+
+
+def enumerate_partial_relations(
+    source_vars: Iterable[str],
+    targets: Sequence[str],
+    forced: tuple[str, str],
+) -> Iterator[dict[str, str]]:
+    """Enumerate injective partial relations ``source → target``.
+
+    ``forced`` pins the assigned variable's image (ω(v2) = v1).  Fixed special
+    variables always map to themselves and are skipped from enumeration.  At
+    most :data:`MAX_RELATIONS_PER_EXPRESSION` relations are produced.
+    """
+    forced_source, forced_target = forced
+    free_sources: list[str] = []
+    base: dict[str, str] = {}
+    for var in dict.fromkeys(source_vars):
+        if var == forced_source:
+            continue
+        if var in FIXED_VARS:
+            base[var] = var
+            continue
+        free_sources.append(var)
+    if forced_source in FIXED_VARS and forced_source != forced_target:
+        return
+    base[forced_source] = forced_target
+
+    candidate_targets = [
+        t for t in targets if t != forced_target and t not in FIXED_VARS
+    ]
+    if len(free_sources) > len(candidate_targets):
+        return
+
+    produced = 0
+    for assignment in permutations(candidate_targets, len(free_sources)):
+        relation = dict(base)
+        relation.update(zip(free_sources, assignment))
+        yield relation
+        produced += 1
+        if produced >= MAX_RELATIONS_PER_EXPRESSION:
+            return
+
+
+def _apply_relation(expr: Expr, relation: Mapping[str, str]) -> Expr:
+    return expr.rename_vars(dict(relation))
+
+
+def _invert(relation: Mapping[str, str]) -> dict[str, str]:
+    return {target: source for source, target in relation.items()}
+
+
+def sites_for(implementation: Program) -> list[Site]:
+    """All location/variable sites of the implementation.
+
+    Every matchable variable is considered at every location (missing updates
+    are implicit identities); fixed special variables are only considered at
+    locations where either the implementation or any cluster member assigns
+    them -- handled by the caller, which passes the cluster.
+    """
+    sites: list[Site] = []
+    variables = variables_for_matching(implementation)
+    for loc_id in implementation.location_ids():
+        for var in variables:
+            sites.append(Site(loc_id, var, fixed=False))
+    return sites
+
+
+def generate_local_repairs(
+    implementation: Program,
+    cluster: Cluster,
+    location_map: Mapping[int, int],
+) -> dict[Site, list[LocalRepairCandidate]]:
+    """Generate the candidate sets ``LR(ℓ, v)`` (Fig. 5, lines 4-14).
+
+    Args:
+        implementation: The incorrect attempt.
+        cluster: Cluster to repair against (provides the representative, its
+            traces and the expression pools).
+        location_map: Structural matching π, implementation location →
+            representative location.
+    """
+    representative = cluster.representative
+    traces = cluster.representative_traces
+    impl_vars = variables_for_matching(implementation)
+    rep_vars = variables_for_matching(representative)
+
+    candidates: dict[Site, list[LocalRepairCandidate]] = {}
+
+    # Ordinary (non-fixed) variables: every location × variable site.
+    for loc_id in implementation.location_ids():
+        rep_loc = location_map[loc_id]
+        for var in impl_vars:
+            site = Site(loc_id, var, fixed=False)
+            impl_expr = implementation.update_for(loc_id, var)
+            site_candidates: list[LocalRepairCandidate] = []
+            for rep_var in rep_vars:
+                site_candidates.extend(
+                    _candidates_for_target(
+                        implementation,
+                        cluster,
+                        traces,
+                        loc_id,
+                        rep_loc,
+                        var,
+                        impl_expr,
+                        rep_var,
+                        rep_vars,
+                        impl_vars,
+                    )
+                )
+            candidates[site] = _dedupe(site_candidates)
+
+    # Fixed special variables ($cond, $ret, $out, ...): they are related
+    # identically, but their expressions still have to match and may need
+    # repair (e.g. a wrong loop condition or a wrong return expression).
+    fixed_vars = sorted(
+        (set(implementation.variables) | set(representative.variables)) & FIXED_VARS
+    )
+    for loc_id in implementation.location_ids():
+        rep_loc = location_map[loc_id]
+        for var in fixed_vars:
+            impl_expr = implementation.update_for(loc_id, var)
+            rep_expr = representative.update_for(rep_loc, var)
+            pool = cluster.expressions_for(rep_loc, var)
+            if impl_expr == Var(var) and rep_expr == Var(var) and not pool:
+                continue
+            site = Site(loc_id, var, fixed=True)
+            site_candidates = _candidates_for_target(
+                implementation,
+                cluster,
+                traces,
+                loc_id,
+                rep_loc,
+                var,
+                impl_expr,
+                var,
+                rep_vars,
+                impl_vars,
+            )
+            candidates[site] = _dedupe(site_candidates)
+
+    return candidates
+
+
+def _candidates_for_target(
+    implementation: Program,
+    cluster: Cluster,
+    traces: Sequence[Trace],
+    loc_id: int,
+    rep_loc: int,
+    var: str,
+    impl_expr: Expr,
+    rep_var: str,
+    rep_vars: Sequence[str],
+    impl_vars: Sequence[str],
+) -> list[LocalRepairCandidate]:
+    """Candidates for one implementation site against one representative variable."""
+    representative = cluster.representative
+    rep_expr = representative.update_for(rep_loc, rep_var)
+    out: list[LocalRepairCandidate] = []
+
+    # Step 1 (Fig. 5, lines 9-11): keep the implementation expression if it
+    # matches the representative expression under some partial relation.
+    for relation in enumerate_partial_relations(
+        impl_expr.variables() | {var}, rep_vars, forced=(var, rep_var)
+    ):
+        translated = _apply_relation(impl_expr, relation)
+        if expressions_match(translated, rep_expr, traces, rep_loc):
+            out.append(
+                LocalRepairCandidate(
+                    loc_id=loc_id,
+                    var=var,
+                    rep_var=rep_var,
+                    omega=_omega_items(relation),
+                    new_expr=None,
+                    cost=0,
+                )
+            )
+
+    # Step 2 (Fig. 5, lines 12-14): take expressions from the cluster pool.
+    pool = list(cluster.expressions_for(rep_loc, rep_var))
+    if not pool and rep_expr == Var(rep_var):
+        # The representative never assigns rep_var here: offer the identity
+        # expression so that a spurious implementation assignment can be
+        # dropped.
+        out.extend(_identity_candidates(loc_id, var, rep_var, impl_expr))
+    for entry in pool:
+        expr = entry.expr
+        for relation in enumerate_partial_relations(
+            expr.variables() | {rep_var}, impl_vars, forced=(rep_var, var)
+        ):
+            replacement = _apply_relation(expr, relation)
+            cost = expr_edit_distance(impl_expr, replacement)
+            out.append(
+                LocalRepairCandidate(
+                    loc_id=loc_id,
+                    var=var,
+                    rep_var=rep_var,
+                    omega=_omega_items(_invert(relation)),
+                    new_expr=replacement,
+                    cost=cost,
+                    provenance=frozenset({entry.member_index}),
+                )
+            )
+    return out
+
+
+def _identity_candidates(
+    loc_id: int, var: str, rep_var: str, impl_expr: Expr
+) -> list[LocalRepairCandidate]:
+    """Offer "remove this assignment" when the representative has none."""
+    identity = Var(var)
+    if impl_expr == identity:
+        return []
+    return [
+        LocalRepairCandidate(
+            loc_id=loc_id,
+            var=var,
+            rep_var=rep_var,
+            omega=((var, rep_var),) if var not in FIXED_VARS else (),
+            new_expr=identity,
+            cost=expr_edit_distance(impl_expr, identity),
+        )
+    ]
+
+
+def _omega_items(relation: Mapping[str, str]) -> tuple[tuple[str, str], ...]:
+    """Normalise a relation to sorted items, dropping fixed self-mappings."""
+    items = [
+        (source, target)
+        for source, target in relation.items()
+        if source not in FIXED_VARS
+    ]
+    return tuple(sorted(items))
+
+
+def _dedupe(
+    candidates: Sequence[LocalRepairCandidate],
+) -> list[LocalRepairCandidate]:
+    """Remove duplicates, keeping the cheapest candidate per (rep_var, ω, expr)."""
+    best: dict[tuple, LocalRepairCandidate] = {}
+    for candidate in candidates:
+        key = (candidate.rep_var, candidate.omega, candidate.new_expr)
+        existing = best.get(key)
+        if existing is None or candidate.cost < existing.cost:
+            best[key] = candidate
+    return sorted(best.values(), key=lambda c: c.cost)

@@ -1,0 +1,212 @@
+"""End-to-end Clara pipeline: parse → cluster → repair → feedback.
+
+This module stitches the pieces together exactly as Fig. 1 of the paper
+describes: correct solutions are clustered once, then each incorrect attempt
+is repaired against all clusters and the minimal repair is selected.  It is
+the main public entry point of the library:
+
+    >>> clara = Clara(cases)
+    >>> clara.add_correct_sources(correct_sources)
+    >>> outcome = clara.repair_source(incorrect_source)
+    >>> print(outcome.feedback.text())
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..frontend import FrontendError, ParseError, UnsupportedFeatureError, parse_source
+from ..model.program import Program
+from .clustering import Cluster, ClusteringResult, cluster_programs
+from .feedback import Feedback, GENERIC_FEEDBACK_THRESHOLD, generate_feedback
+from .inputs import InputCase, is_correct
+from .matching import structural_match
+from .repair import Repair, find_best_repair
+
+__all__ = ["RepairStatus", "RepairOutcome", "Clara"]
+
+
+class RepairStatus:
+    """Outcome categories, mirroring the failure analysis of §6.2."""
+
+    REPAIRED = "repaired"
+    ALREADY_CORRECT = "already-correct"
+    PARSE_ERROR = "parse-error"
+    UNSUPPORTED = "unsupported"
+    NO_STRUCTURAL_MATCH = "no-structural-match"
+    NO_REPAIR = "no-repair"
+    TIMEOUT = "timeout"
+
+
+@dataclass
+class RepairOutcome:
+    """Result of attempting to repair one incorrect attempt."""
+
+    status: str
+    repair: Repair | None = None
+    feedback: Feedback | None = None
+    elapsed: float = 0.0
+    detail: str = ""
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status == RepairStatus.REPAIRED
+
+
+@dataclass
+class Clara:
+    """The clustering-and-repair tool.
+
+    Args:
+        cases: Test inputs with expected behaviour defining correctness.
+        language: Source language of the attempts ("python" or "c").
+        entry: Entry function name (``None`` = first function / ``main``).
+        solver: Repair-selection solver, ``"ilp"`` (default) or
+            ``"enumerate"``.
+        timeout: Wall-clock budget per repaired attempt, in seconds.
+        use_cluster_expressions: When ``False``, the repair algorithm only
+            draws expressions from the cluster representative instead of the
+            whole cluster (the ablation of §2.1's "diversity of repairs").
+        generic_threshold: Cost above which feedback becomes a generic
+            strategy message.
+    """
+
+    cases: Sequence[InputCase]
+    language: str = "python"
+    entry: str | None = None
+    solver: str = "ilp"
+    timeout: float | None = None
+    use_cluster_expressions: bool = True
+    generic_threshold: float = GENERIC_FEEDBACK_THRESHOLD
+    clusters: list[Cluster] = field(default_factory=list)
+    clustering_failures: list[tuple[int, str]] = field(default_factory=list)
+
+    # -- clustering -------------------------------------------------------------
+
+    def parse(self, source: str) -> Program:
+        """Parse one attempt into the program model."""
+        return parse_source(source, language=self.language, entry=self.entry)
+
+    def add_correct_programs(self, programs: Iterable[Program]) -> ClusteringResult:
+        """Cluster correct programs and register the clusters for repair."""
+        result = cluster_programs(programs, self.cases)
+        offset = len(self.clusters)
+        for cluster in result.clusters:
+            cluster.cluster_id += offset
+        self.clusters.extend(result.clusters)
+        self.clustering_failures.extend(result.failures)
+        if not self.use_cluster_expressions:
+            for cluster in self.clusters:
+                self._restrict_to_representative(cluster)
+        return result
+
+    def add_correct_sources(
+        self, sources: Iterable[str], *, verify: bool = True
+    ) -> ClusteringResult:
+        """Parse, optionally verify and cluster correct solutions.
+
+        Attempts that fail to parse or that do not actually pass the test
+        cases are skipped (MOOC dumps routinely contain mislabelled data).
+        """
+        programs: list[Program] = []
+        for source in sources:
+            try:
+                program = self.parse(source)
+            except FrontendError:
+                continue
+            if verify and not is_correct(program, self.cases):
+                continue
+            programs.append(program)
+        return self.add_correct_programs(programs)
+
+    @staticmethod
+    def _restrict_to_representative(cluster: Cluster) -> None:
+        representative = cluster.representative
+        restricted = {}
+        for (loc_id, var), pool in cluster.expressions.items():
+            rep_expr = representative.update_for(loc_id, var)
+            restricted[(loc_id, var)] = [
+                entry for entry in pool if entry.expr == rep_expr
+            ]
+        cluster.expressions = restricted
+
+    # -- repair -------------------------------------------------------------------
+
+    def repair_program(self, program: Program) -> RepairOutcome:
+        """Repair an already-parsed incorrect attempt."""
+        start = time.perf_counter()
+        if is_correct(program, self.cases):
+            return RepairOutcome(
+                status=RepairStatus.ALREADY_CORRECT,
+                elapsed=time.perf_counter() - start,
+            )
+        if not self.clusters:
+            return RepairOutcome(
+                status=RepairStatus.NO_REPAIR,
+                detail="no clusters available",
+                elapsed=time.perf_counter() - start,
+            )
+        if not any(
+            structural_match(program, cluster.representative) is not None
+            for cluster in self.clusters
+        ):
+            return RepairOutcome(
+                status=RepairStatus.NO_STRUCTURAL_MATCH,
+                detail="no correct solution with the same control flow",
+                elapsed=time.perf_counter() - start,
+            )
+        repair = find_best_repair(
+            program,
+            self.clusters,
+            solver=self.solver,
+            timeout=self.timeout,
+        )
+        elapsed = time.perf_counter() - start
+        if repair is None:
+            status = (
+                RepairStatus.TIMEOUT
+                if self.timeout is not None and elapsed >= self.timeout
+                else RepairStatus.NO_REPAIR
+            )
+            return RepairOutcome(status=status, elapsed=elapsed)
+        feedback = generate_feedback(
+            repair, program, generic_threshold=self.generic_threshold
+        )
+        return RepairOutcome(
+            status=RepairStatus.REPAIRED,
+            repair=repair,
+            feedback=feedback,
+            elapsed=elapsed,
+        )
+
+    def repair_source(self, source: str) -> RepairOutcome:
+        """Parse and repair one incorrect attempt from source text."""
+        start = time.perf_counter()
+        try:
+            program = self.parse(source)
+        except UnsupportedFeatureError as exc:
+            return RepairOutcome(
+                status=RepairStatus.UNSUPPORTED,
+                detail=str(exc),
+                elapsed=time.perf_counter() - start,
+            )
+        except ParseError as exc:
+            return RepairOutcome(
+                status=RepairStatus.PARSE_ERROR,
+                detail=str(exc),
+                elapsed=time.perf_counter() - start,
+            )
+        outcome = self.repair_program(program)
+        outcome.elapsed += time.perf_counter() - start - outcome.elapsed
+        return outcome
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def cluster_count(self) -> int:
+        return len(self.clusters)
+
+    def cluster_sizes(self) -> list[int]:
+        return sorted((cluster.size for cluster in self.clusters), reverse=True)

@@ -1,0 +1,539 @@
+"""The repair algorithm (paper §5, Fig. 5 and Def. 5.5).
+
+Given an incorrect implementation and a cluster of correct solutions with the
+same control flow, the algorithm:
+
+1. generates local repair candidates for every location/variable site
+   (:mod:`repro.core.localrepair`);
+2. encodes the search for a *consistent* subset of minimum total cost as a
+   0-1 ILP -- one indicator per candidate, one per variable pair, plus
+   addition/deletion indicators implementing the extension of §5 ("Adding and
+   Deleting Variables");
+3. decodes the ILP solution into a :class:`Repair`: the list of concrete
+   modifications, the repaired program, and provenance information.
+
+An independent exhaustive solver over total variable relations
+(:func:`solve_by_enumeration`) is provided for cross-validation of the ILP
+encoding in tests and for the solver ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..ilp import IlpProblem, InfeasibleError, solve as ilp_solve
+from ..model.expr import Expr, Var
+from ..model.program import Program
+from ..ted import expr_edit_distance
+from .clustering import Cluster
+from .localrepair import LocalRepairCandidate, Site, generate_local_repairs
+from .matching import FIXED_VARS, structural_match, variables_for_matching
+
+__all__ = [
+    "RepairAction",
+    "Repair",
+    "repair_against_cluster",
+    "find_best_repair",
+    "RepairError",
+]
+
+
+class RepairError(Exception):
+    """Raised when a repair cannot be constructed for an unexpected reason."""
+
+
+@dataclass(frozen=True)
+class RepairAction:
+    """One concrete modification of the implementation.
+
+    ``kind`` is one of ``"modify"`` (replace an expression), ``"add"``
+    (introduce an assignment for a fresh variable), ``"delete"`` (remove an
+    assignment of a deleted variable) or ``"remove-assignment"`` (drop a
+    spurious assignment of a kept variable).
+    """
+
+    kind: str
+    loc_id: int
+    var: str
+    old_expr: Expr | None
+    new_expr: Expr | None
+    cost: int
+    rep_var: str | None = None
+    line: int | None = None
+    location_name: str = ""
+
+
+@dataclass
+class Repair:
+    """A whole-program repair against one cluster (Def. 5.2)."""
+
+    cluster_id: int
+    cost: float
+    actions: list[RepairAction]
+    variable_map: dict[str, str]
+    added_vars: dict[str, str] = field(default_factory=dict)
+    deleted_vars: list[str] = field(default_factory=list)
+    repaired_program: Program | None = None
+    provenance_members: frozenset[int] = frozenset()
+    solve_time: float = 0.0
+    original_ast_size: int = 0
+
+    @property
+    def num_modified_expressions(self) -> int:
+        """Number of expressions touched by the repair (Fig. 7's metric)."""
+        return len(self.actions)
+
+    def relative_size(self) -> float:
+        """Tree-edit distance of the repair divided by the program AST size.
+
+        Matches the paper's "relative repair size" (Fig. 6); returns ``inf``
+        for empty programs.
+        """
+        if self.original_ast_size == 0:
+            return float("inf")
+        return self.cost / self.original_ast_size
+
+
+# ---------------------------------------------------------------------------
+# ILP encoding
+# ---------------------------------------------------------------------------
+
+
+def _pair_var(rep_var: str, impl_var: str) -> str:
+    return f"pair::{rep_var}::{impl_var}"
+
+
+def _add_var(rep_var: str) -> str:
+    return f"add::{rep_var}"
+
+
+def _del_var(impl_var: str) -> str:
+    return f"del::{impl_var}"
+
+
+def _candidate_var(index: int) -> str:
+    return f"lr::{index}"
+
+
+def _addition_cost(representative: Program, rep_var: str) -> int:
+    total = 0
+    for loc_id, var, expr in representative.iter_updates():
+        if var == rep_var and expr != Var(var):
+            total += expr.size()
+    return total
+
+
+def _deletion_cost(implementation: Program, impl_var: str) -> int:
+    total = 0
+    for loc_id, var, expr in implementation.iter_updates():
+        if var == impl_var and expr != Var(var):
+            total += expr.size()
+    return total
+
+
+def _build_ilp(
+    implementation: Program,
+    cluster: Cluster,
+    candidates: Mapping[Site, Sequence[LocalRepairCandidate]],
+) -> tuple[IlpProblem, list[tuple[Site, LocalRepairCandidate, str]]]:
+    representative = cluster.representative
+    impl_vars = variables_for_matching(implementation)
+    rep_vars = variables_for_matching(representative)
+
+    problem = IlpProblem(minimize=True)
+    indexed: list[tuple[Site, LocalRepairCandidate, str]] = []
+
+    for rep_var in rep_vars:
+        problem.add_variable(_add_var(rep_var), objective=_addition_cost(representative, rep_var))
+        for impl_var in impl_vars:
+            problem.add_variable(_pair_var(rep_var, impl_var))
+    for impl_var in impl_vars:
+        problem.add_variable(_del_var(impl_var), objective=_deletion_cost(implementation, impl_var))
+
+    # (1) every representative variable is paired with exactly one
+    #     implementation variable or freshly added.
+    for rep_var in rep_vars:
+        members = [_pair_var(rep_var, impl_var) for impl_var in impl_vars]
+        members.append(_add_var(rep_var))
+        problem.add_exactly_one(members, name=f"rep::{rep_var}")
+
+    # (2) every implementation variable is paired with exactly one
+    #     representative variable or deleted.
+    for impl_var in impl_vars:
+        members = [_pair_var(rep_var, impl_var) for rep_var in rep_vars]
+        members.append(_del_var(impl_var))
+        problem.add_exactly_one(members, name=f"impl::{impl_var}")
+
+    # (3) exactly one local repair per site (or the variable is deleted).
+    counter = 0
+    for site, site_candidates in candidates.items():
+        names: list[str] = []
+        for candidate in site_candidates:
+            name = _candidate_var(counter)
+            counter += 1
+            problem.add_variable(name, objective=float(candidate.cost))
+            indexed.append((site, candidate, name))
+            names.append(name)
+            # (4) consistency of the candidate's ω with the pairing.
+            for impl_var, rep_var in candidate.omega:
+                problem.add_implication(name, _pair_var(rep_var, impl_var))
+        if site.fixed:
+            if names:
+                problem.add_exactly_one(names, name=f"site::{site.loc_id}::{site.var}")
+            else:
+                # A fixed site with no candidate at all: unrepairable against
+                # this cluster (e.g. no matching loop condition exists).
+                problem.add_constraint([], "==", 1.0, name="infeasible")
+        else:
+            group = names + [_del_var(site.var)]
+            problem.add_exactly_one(group, name=f"site::{site.loc_id}::{site.var}")
+
+    return problem, indexed
+
+
+# ---------------------------------------------------------------------------
+# Decoding
+# ---------------------------------------------------------------------------
+
+
+def _fresh_name(rep_var: str, taken: set[str]) -> str:
+    base = rep_var.lstrip("$") or "var"
+    name = f"new_{base}"
+    suffix = 1
+    while name in taken:
+        suffix += 1
+        name = f"new_{base}_{suffix}"
+    taken.add(name)
+    return name
+
+
+def _decode_solution(
+    values: Mapping[str, int],
+    implementation: Program,
+    cluster: Cluster,
+    location_map: Mapping[int, int],
+    indexed: Sequence[tuple[Site, LocalRepairCandidate, str]],
+    objective: float,
+) -> Repair:
+    representative = cluster.representative
+    impl_vars = variables_for_matching(implementation)
+    rep_vars = variables_for_matching(representative)
+
+    variable_map: dict[str, str] = {var: var for var in FIXED_VARS}
+    deleted: list[str] = []
+    added: dict[str, str] = {}
+    taken_names = set(implementation.variables)
+
+    for impl_var in impl_vars:
+        if values.get(_del_var(impl_var), 0):
+            deleted.append(impl_var)
+    for rep_var in rep_vars:
+        if values.get(_add_var(rep_var), 0):
+            added[rep_var] = _fresh_name(rep_var, taken_names)
+        for impl_var in impl_vars:
+            if values.get(_pair_var(rep_var, impl_var), 0):
+                variable_map[impl_var] = rep_var
+
+    # Translation of representative variables into (possibly fresh)
+    # implementation variables, used to materialise added assignments.
+    rep_to_impl: dict[str, str] = {var: var for var in FIXED_VARS}
+    for impl_var, rep_var in variable_map.items():
+        if impl_var not in FIXED_VARS:
+            rep_to_impl[rep_var] = impl_var
+    rep_to_impl.update(added)
+
+    selected: dict[Site, LocalRepairCandidate] = {}
+    provenance: set[int] = set()
+    for site, candidate, name in indexed:
+        if values.get(name, 0):
+            selected[site] = candidate
+            if candidate.new_expr is not None and candidate.cost > 0:
+                provenance |= set(candidate.provenance)
+
+    actions: list[RepairAction] = []
+    repaired = implementation.copy()
+    inverse_locations = {rep_loc: impl_loc for impl_loc, rep_loc in location_map.items()}
+
+    # Modifications of kept variables.
+    for site, candidate in selected.items():
+        if candidate.new_expr is None:
+            continue
+        old_expr = implementation.update_for(site.loc_id, site.var)
+        new_expr = candidate.new_expr
+        if new_expr == old_expr:
+            continue
+        location = implementation.locations[site.loc_id]
+        if new_expr == Var(site.var):
+            kind = "remove-assignment"
+            repaired.locations[site.loc_id].updates.pop(site.var, None)
+        else:
+            kind = "modify"
+            repaired.locations[site.loc_id].updates[site.var] = new_expr
+        actions.append(
+            RepairAction(
+                kind=kind,
+                loc_id=site.loc_id,
+                var=site.var,
+                old_expr=None if old_expr == Var(site.var) else old_expr,
+                new_expr=None if new_expr == Var(site.var) else new_expr,
+                cost=candidate.cost,
+                rep_var=candidate.rep_var,
+                line=location.line,
+                location_name=location.name,
+            )
+        )
+
+    # Deleted variables: drop their assignments.
+    for impl_var in deleted:
+        for loc_id in implementation.location_ids():
+            old_expr = implementation.update_for(loc_id, impl_var)
+            if old_expr == Var(impl_var):
+                continue
+            location = implementation.locations[loc_id]
+            repaired.locations[loc_id].updates.pop(impl_var, None)
+            actions.append(
+                RepairAction(
+                    kind="delete",
+                    loc_id=loc_id,
+                    var=impl_var,
+                    old_expr=old_expr,
+                    new_expr=None,
+                    cost=old_expr.size(),
+                    rep_var=None,
+                    line=location.line,
+                    location_name=location.name,
+                )
+            )
+
+    # Added variables: copy the representative's assignments, translated.
+    for rep_var, fresh in added.items():
+        for rep_loc in representative.location_ids():
+            expr = representative.update_for(rep_loc, rep_var)
+            if expr == Var(rep_var):
+                continue
+            impl_loc = inverse_locations[rep_loc]
+            translated = expr.rename_vars(rep_to_impl)
+            repaired.locations[impl_loc].updates[fresh] = translated
+            location = implementation.locations[impl_loc]
+            actions.append(
+                RepairAction(
+                    kind="add",
+                    loc_id=impl_loc,
+                    var=fresh,
+                    old_expr=None,
+                    new_expr=translated,
+                    cost=expr.size(),
+                    rep_var=rep_var,
+                    line=location.line,
+                    location_name=location.name,
+                )
+            )
+
+    actions.sort(key=lambda a: (a.loc_id, a.var))
+    return Repair(
+        cluster_id=cluster.cluster_id,
+        cost=objective,
+        actions=actions,
+        variable_map=variable_map,
+        added_vars=added,
+        deleted_vars=deleted,
+        repaired_program=repaired,
+        provenance_members=frozenset(provenance),
+        original_ast_size=implementation.ast_size(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Exhaustive enumeration solver (cross-check / ablation)
+# ---------------------------------------------------------------------------
+
+
+def solve_by_enumeration(
+    implementation: Program,
+    cluster: Cluster,
+    candidates: Mapping[Site, Sequence[LocalRepairCandidate]],
+) -> tuple[dict[str, int], float] | None:
+    """Solve the repair selection by enumerating total variable relations.
+
+    Returns an assignment in the same variable naming scheme as the ILP
+    encoding (so it can be decoded identically), or ``None`` when no
+    consistent repair exists.  Exponential in the number of variables; used
+    for cross-checking the ILP on small programs and for the solver ablation.
+    """
+    representative = cluster.representative
+    impl_vars = variables_for_matching(implementation)
+    rep_vars = variables_for_matching(representative)
+
+    add_costs = {v: _addition_cost(representative, v) for v in rep_vars}
+    del_costs = {v: _deletion_cost(implementation, v) for v in impl_vars}
+
+    sites = list(candidates)
+    best: tuple[float, dict[str, str], dict[Site, LocalRepairCandidate]] | None = None
+
+    def site_choice(
+        mapping: dict[str, str], site: Site
+    ) -> LocalRepairCandidate | None:
+        options = []
+        for candidate in candidates[site]:
+            if not site.fixed and mapping.get(site.var) != candidate.rep_var:
+                continue
+            consistent = all(
+                mapping.get(impl_var) == rep_var for impl_var, rep_var in candidate.omega
+            )
+            if consistent:
+                options.append(candidate)
+        if not options:
+            return None
+        return min(options, key=lambda c: c.cost)
+
+    def evaluate_mapping(mapping: dict[str, str]) -> None:
+        nonlocal best
+        used_rep = set(mapping.values())
+        cost = 0.0
+        cost += sum(add_costs[v] for v in rep_vars if v not in used_rep)
+        cost += sum(del_costs[v] for v, target in mapping.items() if target == "-")
+        chosen: dict[Site, LocalRepairCandidate] = {}
+        for site in sites:
+            if not site.fixed and mapping.get(site.var) == "-":
+                continue
+            candidate = site_choice(mapping, site)
+            if candidate is None:
+                return
+            cost += candidate.cost
+            chosen[site] = candidate
+            if best is not None and cost >= best[0]:
+                return
+        if best is None or cost < best[0]:
+            best = (cost, dict(mapping), chosen)
+
+    def assign(index: int, mapping: dict[str, str], used: set[str]) -> None:
+        if index == len(impl_vars):
+            evaluate_mapping(mapping)
+            return
+        var = impl_vars[index]
+        for rep_var in rep_vars:
+            if rep_var in used:
+                continue
+            mapping[var] = rep_var
+            used.add(rep_var)
+            assign(index + 1, mapping, used)
+            used.remove(rep_var)
+        mapping[var] = "-"
+        assign(index + 1, mapping, used)
+        del mapping[var]
+
+    assign(0, {}, set())
+    if best is None:
+        return None
+
+    cost, mapping, chosen = best
+    values: dict[str, int] = {}
+    for impl_var, rep_var in mapping.items():
+        if rep_var == "-":
+            values[_del_var(impl_var)] = 1
+        else:
+            values[_pair_var(rep_var, impl_var)] = 1
+    used_rep = {v for v in mapping.values() if v != "-"}
+    for rep_var in rep_vars:
+        if rep_var not in used_rep:
+            values[_add_var(rep_var)] = 1
+    # Re-use the ILP naming for selected candidates by rebuilding the index.
+    index = 0
+    for site, site_candidates in candidates.items():
+        for candidate in site_candidates:
+            name = _candidate_var(index)
+            index += 1
+            if chosen.get(site) is candidate:
+                values[name] = 1
+    return values, cost
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+
+def repair_against_cluster(
+    implementation: Program,
+    cluster: Cluster,
+    *,
+    solver: str = "ilp",
+    ilp_node_limit: int = 200_000,
+) -> Repair | None:
+    """Repair an implementation against one cluster (Fig. 5).
+
+    Returns ``None`` when the control flow does not match or no consistent
+    repair exists.
+    """
+    start = time.perf_counter()
+    location_map = structural_match(implementation, cluster.representative)
+    if location_map is None:
+        return None
+
+    candidates = generate_local_repairs(implementation, cluster, location_map)
+
+    if solver == "enumerate":
+        solved = solve_by_enumeration(implementation, cluster, candidates)
+        if solved is None:
+            return None
+        values, objective = solved
+        indexed = _rebuild_index(candidates)
+    elif solver == "ilp":
+        problem, indexed = _build_ilp(implementation, cluster, candidates)
+        try:
+            solution = ilp_solve(problem, node_limit=ilp_node_limit)
+        except InfeasibleError:
+            return None
+        values, objective = solution.values, solution.objective
+    else:
+        raise ValueError(f"unknown solver {solver!r}")
+
+    repair = _decode_solution(
+        values, implementation, cluster, location_map, indexed, objective
+    )
+    repair.solve_time = time.perf_counter() - start
+    return repair
+
+
+def _rebuild_index(
+    candidates: Mapping[Site, Sequence[LocalRepairCandidate]],
+) -> list[tuple[Site, LocalRepairCandidate, str]]:
+    indexed = []
+    counter = 0
+    for site, site_candidates in candidates.items():
+        for candidate in site_candidates:
+            indexed.append((site, candidate, _candidate_var(counter)))
+            counter += 1
+    return indexed
+
+
+def find_best_repair(
+    implementation: Program,
+    clusters: Sequence[Cluster],
+    *,
+    solver: str = "ilp",
+    timeout: float | None = None,
+    max_clusters: int | None = None,
+) -> Repair | None:
+    """Run the repair algorithm against every cluster and keep the cheapest.
+
+    Clusters are visited in decreasing size order (bigger clusters contain
+    more expression variety and usually produce the smallest repairs first,
+    improving the effect of the timeout).
+    """
+    ordered = sorted(clusters, key=lambda c: -c.size)
+    if max_clusters is not None:
+        ordered = ordered[:max_clusters]
+    best: Repair | None = None
+    start = time.perf_counter()
+    for cluster in ordered:
+        if timeout is not None and time.perf_counter() - start > timeout:
+            break
+        repair = repair_against_cluster(implementation, cluster, solver=solver)
+        if repair is None:
+            continue
+        if best is None or repair.cost < best.cost:
+            best = repair
+    return best

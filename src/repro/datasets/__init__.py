@@ -1,0 +1,24 @@
+"""Problem specifications and synthetic student-attempt corpora."""
+
+from .generator import Attempt, Corpus, default_scale, generate_corpus
+from .mutations import EMPTY_LABEL, UNSUPPORTED_LABEL, Mutation, mutate_source
+from .problems import ProblemSpec, all_problems, get_problem, registry
+from .variants import make_correct_variant, rename_c_variables, rename_python_variables
+
+__all__ = [
+    "Attempt",
+    "Corpus",
+    "generate_corpus",
+    "default_scale",
+    "Mutation",
+    "mutate_source",
+    "EMPTY_LABEL",
+    "UNSUPPORTED_LABEL",
+    "ProblemSpec",
+    "all_problems",
+    "get_problem",
+    "registry",
+    "make_correct_variant",
+    "rename_python_variables",
+    "rename_c_variables",
+]

@@ -1,0 +1,175 @@
+"""Synthetic student-attempt corpus generation.
+
+``generate_corpus`` produces, for one problem, a pool of *correct* attempts
+(verified against the test suite) and a pool of *incorrect* attempts
+(verified to fail at least one test), standing in for the MITx MOOC and
+ESC-101 datasets used in the paper (see DESIGN.md, substitution table).
+
+Generation is fully deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.inputs import is_correct
+from ..frontend import FrontendError, parse_source
+from .mutations import (
+    EMPTY_LABEL,
+    UNSUPPORTED_LABEL,
+    Mutation,
+    make_empty_attempt,
+    make_unsupported_attempt,
+    mutate_source,
+)
+from .problems import ProblemSpec, get_problem
+from .variants import make_correct_variant
+
+__all__ = ["Attempt", "Corpus", "generate_corpus", "default_scale"]
+
+
+@dataclass(frozen=True)
+class Attempt:
+    """One synthetic student attempt."""
+
+    source: str
+    intended_correct: bool
+    label: str = ""  # injected fault label for incorrect attempts
+
+
+@dataclass
+class Corpus:
+    """A pool of correct and incorrect attempts for one problem."""
+
+    problem: ProblemSpec
+    correct: list[Attempt] = field(default_factory=list)
+    incorrect: list[Attempt] = field(default_factory=list)
+
+    @property
+    def correct_sources(self) -> list[str]:
+        return [attempt.source for attempt in self.correct]
+
+    @property
+    def incorrect_sources(self) -> list[str]:
+        return [attempt.source for attempt in self.incorrect]
+
+
+def default_scale() -> tuple[int, int]:
+    """Default corpus size (correct, incorrect) per problem.
+
+    The paper's corpus is ~12,973 correct / 4,293 incorrect attempts over
+    three problems; the default here is scaled down so the whole Table 1
+    experiment runs in minutes on a laptop.  Benchmarks can scale up via the
+    ``REPRO_SCALE`` environment variable (see ``benchmarks/``).
+    """
+    return 60, 30
+
+
+def _actually_correct(problem: ProblemSpec, source: str) -> bool | None:
+    """True/False = verified verdict, None = does not even parse."""
+    try:
+        program = parse_source(source, language=problem.language, entry=problem.entry)
+    except FrontendError:
+        return None
+    try:
+        return is_correct(program, problem.cases)
+    except Exception:  # noqa: BLE001 - treat execution crashes as incorrect
+        return False
+
+
+def generate_corpus(
+    problem: ProblemSpec | str,
+    n_correct: int | None = None,
+    n_incorrect: int | None = None,
+    seed: int = 0,
+) -> Corpus:
+    """Generate a corpus of attempts for ``problem``.
+
+    Args:
+        problem: Problem spec or name.
+        n_correct: Number of correct attempts (default from
+            :func:`default_scale`).
+        n_incorrect: Number of incorrect attempts.
+        seed: RNG seed; corpora are reproducible.
+    """
+    if isinstance(problem, str):
+        problem = get_problem(problem)
+    scale_correct, scale_incorrect = default_scale()
+    n_correct = scale_correct if n_correct is None else n_correct
+    n_incorrect = scale_incorrect if n_incorrect is None else n_incorrect
+    rng = random.Random(seed * 7919 + hash(problem.name) % 1000)
+    corpus = Corpus(problem=problem)
+
+    # -- correct pool --------------------------------------------------------
+    references = list(problem.reference_sources)
+    attempts = 0
+    while len(corpus.correct) < n_correct and attempts < n_correct * 8:
+        attempts += 1
+        base = references[attempts % len(references)]
+        if len(corpus.correct) < len(references):
+            candidate = base  # always include the plain references first
+        else:
+            candidate = make_correct_variant(problem, base, rng)
+        if _actually_correct(problem, candidate) is True:
+            corpus.correct.append(Attempt(source=candidate, intended_correct=True))
+
+    # -- incorrect pool ------------------------------------------------------
+    # A small, controlled fraction of pathological attempts: empty programs
+    # (the paper's Fig. 6 "∞" cases) and attempts using unsupported language
+    # features (the dominant failure category in §6.2).  The rest are
+    # fault-injected variants of correct solutions.
+    # Keep the pathological fraction close to the paper's (~2.5% of attempts
+    # fail for unsupported-feature / control-flow reasons): at most two such
+    # attempts per corpus, none for very small corpora.
+    if n_incorrect >= 16:
+        n_special = 2
+    elif n_incorrect >= 8:
+        n_special = 1
+    else:
+        n_special = 0
+    if n_special:
+        specials = [
+            Attempt(
+                make_empty_attempt(problem).source,
+                intended_correct=False,
+                label=EMPTY_LABEL,
+            ),
+            Attempt(
+                make_unsupported_attempt(problem).source,
+                intended_correct=False,
+                label=UNSUPPORTED_LABEL,
+            ),
+        ]
+        corpus.incorrect.extend(specials[:n_special])
+
+    attempts = 0
+    while len(corpus.incorrect) < n_incorrect and attempts < n_incorrect * 20:
+        attempts += 1
+        base = rng.choice(corpus.correct).source if corpus.correct else references[0]
+        mutation = mutate_source(problem, base, rng, allow_special=False)
+        if mutation is None:
+            continue
+        # Real students often make more than one mistake at a time; stacking
+        # mutations spreads the relative-repair-size histogram (Fig. 6).
+        labels = [mutation.label]
+        extra = rng.choices((0, 1, 2), weights=(55, 30, 15))[0]
+        for _ in range(extra):
+            follow_up = mutate_source(problem, mutation.source, rng, allow_special=False)
+            if follow_up is None:
+                continue
+            mutation = follow_up
+            labels.append(follow_up.label)
+        verdict = _actually_correct(problem, mutation.source)
+        if verdict is True:
+            continue  # the mutation happened to preserve behaviour
+        corpus.incorrect.append(
+            Attempt(
+                source=mutation.source,
+                intended_correct=False,
+                label="+".join(labels),
+            )
+        )
+
+    return corpus

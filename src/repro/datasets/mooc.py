@@ -1,0 +1,288 @@
+"""The three MITx MOOC problems of Table 1 (Appendix A of the paper).
+
+* ``derivatives`` — derivative of a polynomial given as a coefficient list.
+* ``oddTuples`` — every other element of a tuple.
+* ``polynomials`` — evaluate a polynomial at a point.
+
+For each problem we provide a trusted Python reference implementation (used
+to compute expected outputs), a pool of hand-written correct solutions in the
+styles real students use (loop over indices, ``while`` loops, guard-first vs
+guard-last returns, ...), and per-problem equivalence swaps.
+"""
+
+from __future__ import annotations
+
+from ..core.inputs import InputCase
+from .problems import ProblemSpec, register
+
+__all__ = ["DERIVATIVES", "ODD_TUPLES", "POLYNOMIALS"]
+
+
+# ---------------------------------------------------------------------------
+# derivatives
+# ---------------------------------------------------------------------------
+
+
+def _derivative(poly: list[float]) -> list[float]:
+    result = [float(i * poly[i]) for i in range(1, len(poly))]
+    return result if result else [0.0]
+
+
+_DERIVATIVE_INPUTS = [
+    [6.3, 7.6, 12.14],
+    [],
+    [1.0],
+    [0.0, 0.0, 0.0],
+    [1.0, 2.0, 3.0, 4.0],
+    [5.5, -2.25, 0.0, 3.0, -1.5],
+    [2.0, 4.0],
+]
+
+_DERIVATIVES_SOURCES = (
+    """
+def computeDeriv(poly):
+    result = []
+    for e in range(1, len(poly)):
+        result.append(float(poly[e]*e))
+    if result == []:
+        return [0.0]
+    else:
+        return result
+""",
+    """
+def computeDeriv(poly):
+    deriv = []
+    for i in range(1, len(poly)):
+        deriv += [float(i)*poly[i]]
+    if len(deriv) == 0:
+        return [0.0]
+    return deriv
+""",
+    """
+def computeDeriv(poly):
+    res = []
+    for i in range(1, len(poly)):
+        res.append(float(i*poly[i]))
+    return res or [0.0]
+""",
+    """
+def computeDeriv(poly):
+    result = []
+    i = 1
+    while i < len(poly):
+        result.append(float(poly[i]*i))
+        i = i + 1
+    if len(result) > 0:
+        return result
+    else:
+        return [0.0]
+""",
+    """
+def computeDeriv(poly):
+    answer = []
+    for k in range(len(poly)):
+        if k > 0:
+            answer.append(float(k*poly[k]))
+    if answer == []:
+        return [0.0]
+    return answer
+""",
+    """
+def computeDeriv(poly):
+    if len(poly) <= 1:
+        return [0.0]
+    out = []
+    for i in range(1, len(poly)):
+        out.append(1.0*poly[i]*i)
+    return out
+""",
+)
+
+DERIVATIVES = register(
+    ProblemSpec(
+        name="derivatives",
+        language="python",
+        description=(
+            "Compute and return the derivative of a polynomial function "
+            "(represented as a list of floats). If the derivative is 0, "
+            "return [0.0]."
+        ),
+        cases=tuple(
+            InputCase(args=(list(poly),), expected_return=_derivative(poly))
+            for poly in _DERIVATIVE_INPUTS
+        ),
+        reference_sources=tuple(s.strip("\n") for s in _DERIVATIVES_SOURCES),
+        equivalence_swaps=(
+            ("range(1, len(poly))", "xrange(1, len(poly))"),
+            ("result.append(float(poly[e]*e))", "result += [float(poly[e]*e)]"),
+            ("result.append(float(poly[e]*e))", "result.append(float(e*poly[e]))"),
+            ("res.append(float(i*poly[i]))", "res.append(1.0*poly[i]*i)"),
+            ("if result == []:", "if len(result) == 0:"),
+            ("deriv += [float(i)*poly[i]]", "deriv.append(float(i)*poly[i])"),
+        ),
+        entry=None,
+        experiment="mooc",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# oddTuples
+# ---------------------------------------------------------------------------
+
+
+def _odd_tuples(a_tup: tuple) -> tuple:
+    return a_tup[::2]
+
+
+_ODD_TUPLES_INPUTS = [
+    (),
+    (1,),
+    (1, 2),
+    ("I", "am", "a", "test", "tuple"),
+    (1, 2, 3, 4, 5, 6, 7),
+    (0.5, "x", 3, "y"),
+]
+
+_ODD_TUPLES_SOURCES = (
+    """
+def oddTuples(aTup):
+    rTup = ()
+    index = 0
+    while index < len(aTup):
+        rTup += (aTup[index],)
+        index += 2
+    return rTup
+""",
+    """
+def oddTuples(aTup):
+    result = ()
+    for i in range(0, len(aTup), 2):
+        result = result + (aTup[i],)
+    return result
+""",
+    """
+def oddTuples(aTup):
+    out = ()
+    for i in range(len(aTup)):
+        if i % 2 == 0:
+            out += (aTup[i],)
+    return out
+""",
+    """
+def oddTuples(aTup):
+    ans = ()
+    count = 0
+    while count < len(aTup):
+        if count % 2 == 0:
+            ans = ans + (aTup[count],)
+        count = count + 1
+    return ans
+""",
+    """
+def oddTuples(aTup):
+    newTup = ()
+    for k in range(0, len(aTup), 2):
+        newTup += (aTup[k],)
+    return newTup
+""",
+)
+
+ODD_TUPLES = register(
+    ProblemSpec(
+        name="oddTuples",
+        language="python",
+        description="Return a tuple containing every other element of aTup.",
+        cases=tuple(
+            InputCase(args=(tuple(t),), expected_return=_odd_tuples(t))
+            for t in _ODD_TUPLES_INPUTS
+        ),
+        reference_sources=tuple(s.strip("\n") for s in _ODD_TUPLES_SOURCES),
+        equivalence_swaps=(
+            ("rTup += (aTup[index],)", "rTup = rTup + (aTup[index],)"),
+            ("result = result + (aTup[i],)", "result += (aTup[i],)"),
+            ("for i in range(0, len(aTup), 2):", "for i in range(0, len(aTup), 2):"),
+            ("if i % 2 == 0:", "if i % 2 != 1:"),
+            ("count = count + 1", "count += 1"),
+        ),
+        entry=None,
+        experiment="mooc",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# polynomials (evaluatePoly)
+# ---------------------------------------------------------------------------
+
+
+def _evaluate_poly(poly: list[float], x: float) -> float:
+    return float(sum(coefficient * x**power for power, coefficient in enumerate(poly)))
+
+
+_POLYNOMIALS_INPUTS = [
+    ([0.0, 0.0, 5.0, 9.3, 7.0], 10.0),
+    ([], 2.0),
+    ([1.5], 999.0),
+    ([0.0, 1.0], 3.0),
+    ([2.0, -3.0, 1.0], 2.5),
+    ([1.0, 1.0, 1.0, 1.0], 1.0),
+]
+
+_POLYNOMIALS_SOURCES = (
+    """
+def evaluatePoly(poly, x):
+    total = 0.0
+    for power in range(len(poly)):
+        total += poly[power] * x**power
+    return total
+""",
+    """
+def evaluatePoly(poly, x):
+    result = 0.0
+    power = 0
+    while power < len(poly):
+        result = result + poly[power] * x**power
+        power = power + 1
+    return result
+""",
+    """
+def evaluatePoly(poly, x):
+    value = 0.0
+    for i in range(len(poly)):
+        value += poly[i] * (x ** i)
+    return float(value)
+""",
+    """
+def evaluatePoly(poly, x):
+    answer = 0.0
+    exp = 0
+    for coeff in poly:
+        answer += coeff * x**exp
+        exp += 1
+    return answer
+""",
+)
+
+POLYNOMIALS = register(
+    ProblemSpec(
+        name="polynomials",
+        language="python",
+        description=(
+            "Compute the value of a polynomial (list of float coefficients) at "
+            "the value x; return it as a float."
+        ),
+        cases=tuple(
+            InputCase(args=(list(poly), x), expected_return=_evaluate_poly(poly, x))
+            for poly, x in _POLYNOMIALS_INPUTS
+        ),
+        reference_sources=tuple(s.strip("\n") for s in _POLYNOMIALS_SOURCES),
+        equivalence_swaps=(
+            ("total += poly[power] * x**power", "total = total + poly[power] * x**power"),
+            ("value += poly[i] * (x ** i)", "value += (x ** i) * poly[i]"),
+            ("power = power + 1", "power += 1"),
+        ),
+        entry=None,
+        experiment="mooc",
+    )
+)

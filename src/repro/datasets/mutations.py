@@ -1,0 +1,375 @@
+"""Fault injection: generation of *incorrect* attempts.
+
+The MOOC and user-study attempt datasets are private, so incorrect attempts
+are synthesised by injecting realistic faults into correct solutions.  The
+fault mix mirrors the error classes discussed in the paper:
+
+* small local slips (off-by-one range bounds, wrong comparison or arithmetic
+  operator, wrong constant, missing ``float`` conversion) -- these are the
+  attempts both Clara and AutoGrader should repair with one or two changes;
+* structural mistakes (missing guard, missing statement, missing update of an
+  accumulator, wrong output shape) -- repairs typically need fresh variables
+  or added statements, which only Clara can produce (Appendix B);
+* pathological attempts (empty function bodies) -- these populate the ``∞``
+  bucket of the relative-repair-size histogram (Fig. 6);
+* attempts using unsupported language features -- these populate the
+  "unsupported" failure category of §6.2.
+
+Every mutation is labelled so the quality-proxy experiment (E6 in DESIGN.md)
+can check whether the generated repair touches the injected fault.
+"""
+
+from __future__ import annotations
+
+import ast
+import random
+import re
+from dataclasses import dataclass
+
+from .problems import ProblemSpec
+
+__all__ = [
+    "Mutation",
+    "mutate_source",
+    "make_empty_attempt",
+    "make_unsupported_attempt",
+    "EMPTY_LABEL",
+    "UNSUPPORTED_LABEL",
+]
+
+EMPTY_LABEL = "empty-program"
+UNSUPPORTED_LABEL = "unsupported-feature"
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """A generated incorrect attempt."""
+
+    source: str
+    label: str
+
+
+# ---------------------------------------------------------------------------
+# Python mutations (ast-level)
+# ---------------------------------------------------------------------------
+
+
+class _PythonMutator(ast.NodeTransformer):
+    def __init__(self, kind: str, rng: random.Random) -> None:
+        self.kind = kind
+        self.rng = rng
+        self.applied = False
+
+    # every visitor applies at most one change per program
+
+    def visit_Call(self, node: ast.Call) -> ast.AST:  # noqa: N802
+        self.generic_visit(node)
+        if self.applied:
+            return node
+        if self.kind == "range-bounds" and isinstance(node.func, ast.Name):
+            if node.func.id in ("range", "xrange") and len(node.args) >= 2:
+                self.applied = True
+                node.args = node.args[1:]  # drop the lower bound
+                return node
+        if self.kind == "drop-float" and isinstance(node.func, ast.Name):
+            if node.func.id == "float" and len(node.args) == 1:
+                self.applied = True
+                return node.args[0]
+        return node
+
+    def visit_Compare(self, node: ast.Compare) -> ast.AST:  # noqa: N802
+        self.generic_visit(node)
+        if self.applied or self.kind != "comparison-op":
+            return node
+        swaps = {ast.Lt: ast.LtE, ast.LtE: ast.Lt, ast.Gt: ast.GtE, ast.GtE: ast.Gt,
+                 ast.Eq: ast.NotEq, ast.NotEq: ast.Eq}
+        new_ops = []
+        for op in node.ops:
+            replacement = swaps.get(type(op))
+            if replacement is not None and not self.applied:
+                new_ops.append(replacement())
+                self.applied = True
+            else:
+                new_ops.append(op)
+        node.ops = new_ops
+        return node
+
+    def visit_BinOp(self, node: ast.BinOp) -> ast.AST:  # noqa: N802
+        self.generic_visit(node)
+        if self.applied or self.kind != "arithmetic-op":
+            return node
+        swaps = {ast.Add: ast.Sub, ast.Sub: ast.Add, ast.Mult: ast.Add, ast.Pow: ast.Mult}
+        replacement = swaps.get(type(node.op))
+        if replacement is not None:
+            node.op = replacement()
+            self.applied = True
+        return node
+
+    def visit_Constant(self, node: ast.Constant) -> ast.AST:  # noqa: N802
+        if self.applied or self.kind != "constant":
+            return node
+        if isinstance(node.value, bool) or not isinstance(node.value, (int, float)):
+            return node
+        self.applied = True
+        delta = self.rng.choice((1, -1))
+        return ast.copy_location(ast.Constant(value=node.value + delta), node)
+
+    def visit_If(self, node: ast.If) -> ast.AST:  # noqa: N802
+        self.generic_visit(node)
+        if self.applied or self.kind != "drop-guard":
+            return node
+        # Remove the guard (and any else-branch), keeping the then-branch.
+        self.applied = True
+        return node.body
+
+    def visit_Return(self, node: ast.Return) -> ast.AST:  # noqa: N802
+        self.generic_visit(node)
+        if self.applied or self.kind != "unwrap-return-list":
+            return node
+        if isinstance(node.value, ast.List) and len(node.value.elts) == 1:
+            self.applied = True
+            node.value = node.value.elts[0]
+        return node
+
+
+_PYTHON_MUTATION_KINDS = (
+    "range-bounds",
+    "drop-float",
+    "comparison-op",
+    "arithmetic-op",
+    "constant",
+    "drop-guard",
+    "drop-guard",
+    "unwrap-return-list",
+    "drop-statement",
+    "drop-statement",
+)
+
+
+def _mutate_python(source: str, rng: random.Random) -> Mutation | None:
+    kind = rng.choice(_PYTHON_MUTATION_KINDS)
+    try:
+        module = ast.parse(source)
+    except SyntaxError:
+        return None
+    if kind == "drop-statement":
+        function = next(
+            (n for n in module.body if isinstance(n, ast.FunctionDef)), None
+        )
+        if function is None or len(function.body) < 2:
+            return None
+        # Never drop loops (that would change the control-flow structure and
+        # make the attempt unrepairable by construction) or the final return.
+        candidates = [
+            i
+            for i, node in enumerate(function.body[:-1])
+            if not isinstance(node, (ast.For, ast.While, ast.Return))
+        ]
+        # Also consider dropping a statement from inside the first loop body.
+        loop = next(
+            (n for n in function.body if isinstance(n, (ast.For, ast.While))), None
+        )
+        if candidates and rng.random() < 0.6:
+            index = rng.choice(candidates)
+            function.body.pop(index)
+        elif loop is not None and len(loop.body) > 1:
+            inner = [
+                i
+                for i, node in enumerate(loop.body)
+                if not isinstance(node, (ast.For, ast.While))
+            ]
+            if not inner:
+                return None
+            loop.body.pop(rng.choice(inner))
+        else:
+            return None
+        ast.fix_missing_locations(module)
+        return Mutation(ast.unparse(module), "drop-statement")
+    mutator = _PythonMutator(kind, rng)
+    mutated = mutator.visit(module)
+    if not mutator.applied:
+        return None
+    ast.fix_missing_locations(mutated)
+    return Mutation(ast.unparse(mutated), kind)
+
+
+def _python_empty(problem: ProblemSpec) -> Mutation:
+    entry = _python_entry_name(problem)
+    params = _python_params(problem)
+    return Mutation(f"def {entry}({params}):\n    pass", EMPTY_LABEL)
+
+
+def _python_unsupported(problem: ProblemSpec) -> Mutation:
+    entry = _python_entry_name(problem)
+    params = _python_params(problem)
+    body = "    return [x for x in range(3)]"
+    return Mutation(f"def {entry}({params}):\n{body}", UNSUPPORTED_LABEL)
+
+
+def _python_entry_name(problem: ProblemSpec) -> str:
+    match = re.search(r"def\s+(\w+)", problem.reference_sources[0])
+    return match.group(1) if match else "solution"
+
+
+def _python_params(problem: ProblemSpec) -> str:
+    match = re.search(r"def\s+\w+\(([^)]*)\)", problem.reference_sources[0])
+    return match.group(1) if match else ""
+
+
+# ---------------------------------------------------------------------------
+# C mutations (token/line-level)
+# ---------------------------------------------------------------------------
+
+
+_C_OPERATOR_SWAPS = [
+    ("<=", "<"),
+    ("<", "<="),
+    (">=", ">"),
+    (">", ">="),
+    ("==", "!="),
+    ("+", "-"),
+    ("*", "+"),
+]
+
+
+def _mutate_c(source: str, rng: random.Random) -> Mutation | None:
+    kind = rng.choice(
+        (
+            "operator",
+            "constant",
+            "swap-output",
+            "drop-line",
+            "init-value",
+            "modulus",
+        )
+    )
+    lines = source.split("\n")
+    if kind == "operator":
+        candidates = [
+            (i, old, new)
+            for i, line in enumerate(lines)
+            for old, new in _C_OPERATOR_SWAPS
+            if old in line and '"' not in line
+        ]
+        if not candidates:
+            return None
+        i, old, new = rng.choice(candidates)
+        lines[i] = lines[i].replace(old, new, 1)
+        return Mutation("\n".join(lines), f"operator:{old}->{new}")
+    if kind == "constant":
+        candidates = [
+            (i, m)
+            for i, line in enumerate(lines)
+            for m in re.finditer(r"\b(\d+)\b", line)
+            if '"' not in line
+        ]
+        if not candidates:
+            return None
+        i, match = rng.choice(candidates)
+        value = int(match.group(1))
+        replacement = str(value + rng.choice((1, -1)))
+        lines[i] = lines[i][: match.start()] + replacement + lines[i][match.end():]
+        return Mutation("\n".join(lines), "constant")
+    if kind == "swap-output":
+        if "YES" in source and "NO" in source:
+            swapped = source.replace("YES", "@@@").replace("NO", "YES").replace("@@@", "NO")
+            return Mutation(swapped, "swap-output")
+        return None
+    if kind == "drop-line":
+        candidates = [
+            i
+            for i, line in enumerate(lines)
+            if "=" in line
+            and ";" in line
+            and "scanf" not in line
+            and "printf" not in line
+            and "for" not in line
+            and "while" not in line
+            and "if" not in line
+        ]
+        if not candidates:
+            return None
+        index = rng.choice(candidates)
+        del lines[index]
+        return Mutation("\n".join(lines), "drop-line")
+    if kind == "init-value":
+        candidates = [
+            (i, m)
+            for i, line in enumerate(lines)
+            for m in re.finditer(r"= (\d+)([,;])", line)
+            if "int" in line or "float" in line
+        ]
+        if not candidates:
+            return None
+        i, match = rng.choice(candidates)
+        new_value = str(int(match.group(1)) + rng.choice((1, -1)))
+        lines[i] = lines[i][: match.start()] + f"= {new_value}{match.group(2)}" + lines[i][match.end():]
+        return Mutation("\n".join(lines), "init-value")
+    if kind == "modulus":
+        if "% 10" in source:
+            return Mutation(source.replace("% 10", "% 100", 1), "modulus")
+        return None
+    return None
+
+
+def _c_empty(_problem: ProblemSpec) -> Mutation:
+    return Mutation(
+        "#include <stdio.h>\nint main() {\n    return 0;\n}\n", EMPTY_LABEL
+    )
+
+
+def _c_unsupported(_problem: ProblemSpec) -> Mutation:
+    source = (
+        "#include <stdio.h>\nint main() {\n"
+        "    int arr[10];\n    int n;\n    scanf(\"%d\", &n);\n"
+        "    printf(\"%d\\n\", n);\n    return 0;\n}\n"
+    )
+    return Mutation(source, UNSUPPORTED_LABEL)
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+
+def make_empty_attempt(problem: ProblemSpec) -> Mutation:
+    """An essentially empty attempt (Fig. 6's ``∞`` relative-size bucket)."""
+    return _python_empty(problem) if problem.language == "python" else _c_empty(problem)
+
+
+def make_unsupported_attempt(problem: ProblemSpec) -> Mutation:
+    """An attempt using a language feature outside the supported subset."""
+    return (
+        _python_unsupported(problem)
+        if problem.language == "python"
+        else _c_unsupported(problem)
+    )
+
+
+def mutate_source(
+    problem: ProblemSpec,
+    source: str,
+    rng: random.Random,
+    *,
+    allow_special: bool = True,
+) -> Mutation | None:
+    """Inject one fault into a correct solution.
+
+    With probability ~8% (when ``allow_special``) a special attempt is
+    produced instead: an empty program or one using an unsupported feature.
+    Returns ``None`` when the chosen mutation is not applicable; the caller
+    retries with a fresh random choice.
+    """
+    if allow_special:
+        roll = rng.random()
+        if roll < 0.02:
+            return _python_empty(problem) if problem.language == "python" else _c_empty(problem)
+        if roll < 0.04:
+            return (
+                _python_unsupported(problem)
+                if problem.language == "python"
+                else _c_unsupported(problem)
+            )
+    if problem.language == "python":
+        return _mutate_python(source, rng)
+    return _mutate_c(source, rng)

@@ -1,0 +1,88 @@
+"""Problem specifications.
+
+A :class:`ProblemSpec` bundles everything the pipeline needs to know about one
+assignment: the language, the test inputs with expected behaviour (computed by
+a trusted Python reference implementation), a pool of hand-written reference
+solutions in different styles (these seed the correct-attempt generator), and
+per-problem equivalence swaps used to diversify correct attempts.
+
+The nine problems are exactly the ones listed in Appendix A of the paper:
+three Python MOOC problems (Table 1) and six C user-study problems (Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..core.inputs import InputCase
+
+__all__ = ["ProblemSpec", "registry", "get_problem", "all_problems"]
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    """One programming assignment.
+
+    Attributes:
+        name: Identifier (e.g. ``"derivatives"``).
+        language: ``"python"`` or ``"c"``.
+        entry: Entry function name (``None`` = first function / ``main``).
+        description: Short human-readable task statement.
+        cases: Test inputs with expected behaviour.
+        reference_sources: Hand-written correct solutions in different styles.
+        equivalence_swaps: Pairs of source fragments that can be exchanged in
+            reference sources without changing behaviour (used to generate
+            more correct attempts).
+        experiment: ``"mooc"`` (Table 1) or ``"user-study"`` (Table 2).
+    """
+
+    name: str
+    language: str
+    description: str
+    cases: tuple[InputCase, ...]
+    reference_sources: tuple[str, ...]
+    equivalence_swaps: tuple[tuple[str, str], ...] = ()
+    entry: str | None = None
+    experiment: str = "mooc"
+
+
+_REGISTRY: dict[str, ProblemSpec] = {}
+
+
+def register(spec: ProblemSpec) -> ProblemSpec:
+    """Register a problem specification (used by the dataset modules)."""
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def registry() -> dict[str, ProblemSpec]:
+    """Return the full problem registry (importing the dataset modules)."""
+    _ensure_loaded()
+    return dict(_REGISTRY)
+
+
+def get_problem(name: str) -> ProblemSpec:
+    """Look up a problem by name."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown problem {name!r}; known problems: {known}") from None
+
+
+def all_problems(experiment: str | None = None) -> list[ProblemSpec]:
+    """All problems, optionally filtered by experiment ("mooc" / "user-study")."""
+    _ensure_loaded()
+    specs = list(_REGISTRY.values())
+    if experiment is not None:
+        specs = [spec for spec in specs if spec.experiment == experiment]
+    return specs
+
+
+def _ensure_loaded() -> None:
+    # Imported lazily to avoid import cycles (the dataset modules import
+    # ``register`` from here).
+    from . import mooc  # noqa: F401
+    from . import user_study  # noqa: F401

@@ -1,0 +1,518 @@
+"""The six C user-study problems of Table 2 (Appendix A of the paper).
+
+Each problem reads its input with ``scanf`` and prints its result with
+``printf``; correctness is judged on the printed output, exactly as in the
+ESC-101 course setting the paper describes.  Expected outputs are computed by
+trusted Python reference functions below.
+"""
+
+from __future__ import annotations
+
+from ..core.inputs import InputCase
+from .problems import ProblemSpec, register
+
+__all__ = [
+    "FIBONACCI",
+    "SPECIAL_NUMBER",
+    "REVERSE_DIFFERENCE",
+    "FACTORIAL_INTERVAL",
+    "TRAPEZOID",
+    "RHOMBUS",
+]
+
+
+# ---------------------------------------------------------------------------
+# Fibonacci sequence: print n such that F(n) <= k < F(n+1)
+# ---------------------------------------------------------------------------
+
+
+def _fibonacci_expected(k: int) -> str:
+    a, b, n = 1, 1, 1
+    while b <= k:
+        a, b = b, a + b
+        n += 1
+    return f"{n}\n"
+
+
+_FIBONACCI_SOURCES = (
+    r"""
+#include <stdio.h>
+int main() {
+    int k, a = 1, b = 1, n = 1;
+    scanf("%d", &k);
+    while (b <= k) {
+        int t = a + b;
+        a = b;
+        b = t;
+        n = n + 1;
+    }
+    printf("%d\n", n);
+    return 0;
+}
+""",
+    r"""
+#include <stdio.h>
+int main() {
+    int k, prev = 1, cur = 1, count = 1;
+    scanf("%d", &k);
+    while (cur <= k) {
+        int next = prev + cur;
+        prev = cur;
+        cur = next;
+        count++;
+    }
+    printf("%d\n", count);
+    return 0;
+}
+""",
+    r"""
+#include <stdio.h>
+int main() {
+    int k, f1 = 1, f2 = 1, idx = 1, tmp;
+    scanf("%d", &k);
+    for (; f2 <= k; idx++) {
+        tmp = f1 + f2;
+        f1 = f2;
+        f2 = tmp;
+    }
+    printf("%d\n", idx);
+    return 0;
+}
+""",
+)
+
+FIBONACCI = register(
+    ProblemSpec(
+        name="fibonacci",
+        language="c",
+        description=(
+            "Read k > 0 and print n > 0 such that F(n) <= k < F(n+1) for the "
+            "Fibonacci sequence F(1)=F(2)=1."
+        ),
+        cases=tuple(
+            InputCase(stdin=(k,), expected_output=_fibonacci_expected(k))
+            for k in (1, 2, 3, 8, 10, 55, 100, 1000)
+        ),
+        reference_sources=tuple(s.strip("\n") for s in _FIBONACCI_SOURCES),
+        equivalence_swaps=(
+            ("n = n + 1;", "n++;"),
+            ("count++;", "count = count + 1;"),
+            ("while (b <= k)", "while (k >= b)"),
+        ),
+        experiment="user-study",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Special number: YES if the sum of cubes of digits equals the number
+# ---------------------------------------------------------------------------
+
+
+def _special_expected(n: int) -> str:
+    total = sum(int(d) ** 3 for d in str(n)) if n > 0 else 0
+    return "YES\n" if total == n else "NO\n"
+
+
+_SPECIAL_SOURCES = (
+    r"""
+#include <stdio.h>
+int main() {
+    int n, sum = 0, d, m;
+    scanf("%d", &n);
+    m = n;
+    while (m > 0) {
+        d = m % 10;
+        sum = sum + d*d*d;
+        m = m / 10;
+    }
+    if (sum == n) printf("YES\n");
+    else printf("NO\n");
+    return 0;
+}
+""",
+    r"""
+#include <stdio.h>
+int main() {
+    int num, total = 0, digit, rest;
+    scanf("%d", &num);
+    rest = num;
+    while (rest > 0) {
+        digit = rest % 10;
+        total += digit * digit * digit;
+        rest = rest / 10;
+    }
+    if (total == num) {
+        printf("YES\n");
+    } else {
+        printf("NO\n");
+    }
+    return 0;
+}
+""",
+    r"""
+#include <stdio.h>
+int main() {
+    int n, cube = 0, m, d;
+    scanf("%d", &n);
+    for (m = n; m > 0; m = m / 10) {
+        d = m % 10;
+        cube = cube + d * d * d;
+    }
+    if (cube == n) printf("YES\n"); else printf("NO\n");
+    return 0;
+}
+""",
+)
+
+SPECIAL_NUMBER = register(
+    ProblemSpec(
+        name="special_number",
+        language="c",
+        description=(
+            "Read n >= 0 and print YES if the sum of the cubes of its digits "
+            "equals n, NO otherwise."
+        ),
+        cases=tuple(
+            InputCase(stdin=(n,), expected_output=_special_expected(n))
+            for n in (0, 1, 10, 100, 153, 370, 371, 407, 152)
+        ),
+        reference_sources=tuple(s.strip("\n") for s in _SPECIAL_SOURCES),
+        equivalence_swaps=(
+            ("sum = sum + d*d*d;", "sum += d*d*d;"),
+            ("m = m / 10;", "m /= 10;"),
+            ("while (m > 0)", "while (m >= 1)"),
+        ),
+        experiment="user-study",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Reverse difference: print n - reverse(n)
+# ---------------------------------------------------------------------------
+
+
+def _reverse_difference_expected(n: int) -> str:
+    return f"{n - int(str(n)[::-1])}\n"
+
+
+_REVERSE_SOURCES = (
+    r"""
+#include <stdio.h>
+int main() {
+    int n, rev = 0, m;
+    scanf("%d", &n);
+    m = n;
+    while (m > 0) {
+        rev = rev * 10 + m % 10;
+        m = m / 10;
+    }
+    printf("%d\n", n - rev);
+    return 0;
+}
+""",
+    r"""
+#include <stdio.h>
+int main() {
+    int num, reversed = 0, temp, digit;
+    scanf("%d", &num);
+    temp = num;
+    while (temp > 0) {
+        digit = temp % 10;
+        reversed = reversed * 10 + digit;
+        temp = temp / 10;
+    }
+    printf("%d\n", num - reversed);
+    return 0;
+}
+""",
+    r"""
+#include <stdio.h>
+int main() {
+    int n, r = 0, x, diff;
+    scanf("%d", &n);
+    for (x = n; x > 0; x = x / 10) {
+        r = 10 * r + x % 10;
+    }
+    diff = n - r;
+    printf("%d\n", diff);
+    return 0;
+}
+""",
+)
+
+REVERSE_DIFFERENCE = register(
+    ProblemSpec(
+        name="reverse_difference",
+        language="c",
+        description="Read n > 0 and print the difference between n and its reverse.",
+        cases=tuple(
+            InputCase(stdin=(n,), expected_output=_reverse_difference_expected(n))
+            for n in (1234, 1, 90, 505, 12, 1000, 87654)
+        ),
+        reference_sources=tuple(s.strip("\n") for s in _REVERSE_SOURCES),
+        equivalence_swaps=(
+            ("rev = rev * 10 + m % 10;", "rev = 10 * rev + m % 10;"),
+            ("m = m / 10;", "m /= 10;"),
+        ),
+        experiment="user-study",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Factorial interval: count factorial numbers inside [n, m]
+# ---------------------------------------------------------------------------
+
+
+def _factorial_interval_expected(n: int, m: int) -> str:
+    count = 0
+    factorial = 1
+    index = 1
+    while factorial <= m:
+        if factorial >= n:
+            count += 1
+        index += 1
+        factorial *= index
+    return f"{count}\n"
+
+
+_FACTORIAL_SOURCES = (
+    r"""
+#include <stdio.h>
+int main() {
+    int n, m, count = 0, f = 1, i = 1;
+    scanf("%d %d", &n, &m);
+    while (f <= m) {
+        if (f >= n) count = count + 1;
+        i = i + 1;
+        f = f * i;
+    }
+    printf("%d\n", count);
+    return 0;
+}
+""",
+    r"""
+#include <stdio.h>
+int main() {
+    int lo, hi, total = 0, fact = 1, k = 1;
+    scanf("%d %d", &lo, &hi);
+    while (fact <= hi) {
+        if (fact >= lo) {
+            total++;
+        }
+        k++;
+        fact = fact * k;
+    }
+    printf("%d\n", total);
+    return 0;
+}
+""",
+    r"""
+#include <stdio.h>
+int main() {
+    int n, m, cnt = 0, f = 1, i;
+    scanf("%d %d", &n, &m);
+    for (i = 2; f <= m; i++) {
+        if (f >= n) cnt++;
+        f = f * i;
+    }
+    printf("%d\n", cnt);
+    return 0;
+}
+""",
+)
+
+FACTORIAL_INTERVAL = register(
+    ProblemSpec(
+        name="factorial_interval",
+        language="c",
+        description=(
+            "Read 0 <= n <= m and print how many factorial numbers lie in the "
+            "closed interval [n, m]."
+        ),
+        cases=tuple(
+            InputCase(stdin=(n, m), expected_output=_factorial_interval_expected(n, m))
+            for n, m in ((0, 1), (1, 6), (3, 25), (7, 119), (1, 720), (25, 26), (0, 5040))
+        ),
+        reference_sources=tuple(s.strip("\n") for s in _FACTORIAL_SOURCES),
+        equivalence_swaps=(
+            ("count = count + 1;", "count++;"),
+            ("f = f * i;", "f *= i;"),
+        ),
+        experiment="user-study",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Trapezoid pattern
+# ---------------------------------------------------------------------------
+
+
+def _trapezoid_expected(h: int, b: int) -> str:
+    rows = []
+    for i in range(h):
+        spaces = h - 1 - i
+        stars = b - 2 * spaces
+        rows.append(" " * spaces + "*" * stars)
+    return "\n".join(rows) + "\n"
+
+
+_TRAPEZOID_SOURCES = (
+    r"""
+#include <stdio.h>
+int main() {
+    int h, b, i, j;
+    scanf("%d %d", &h, &b);
+    for (i = 0; i < h; i++) {
+        for (j = 0; j < h - 1 - i; j++) {
+            printf(" ");
+        }
+        for (j = 0; j < b - 2*(h - 1 - i); j++) {
+            printf("*");
+        }
+        printf("\n");
+    }
+    return 0;
+}
+""",
+    r"""
+#include <stdio.h>
+int main() {
+    int height, base, row, col, spaces;
+    scanf("%d %d", &height, &base);
+    row = 1;
+    while (row <= height) {
+        spaces = height - row;
+        col = 0;
+        while (col < spaces) {
+            printf(" ");
+            col++;
+        }
+        col = 0;
+        while (col < base - 2*spaces) {
+            printf("*");
+            col++;
+        }
+        printf("\n");
+        row++;
+    }
+    return 0;
+}
+""",
+)
+
+TRAPEZOID = register(
+    ProblemSpec(
+        name="trapezoid",
+        language="c",
+        description=(
+            "Read height h and base length b and print a regular trapezoid "
+            "pattern made of '*' characters, h lines tall with the bottom line "
+            "b characters wide."
+        ),
+        cases=tuple(
+            InputCase(stdin=(h, b), expected_output=_trapezoid_expected(h, b))
+            for h, b in ((1, 2), (3, 8), (5, 14), (4, 10), (2, 6))
+        ),
+        reference_sources=tuple(s.strip("\n") for s in _TRAPEZOID_SOURCES),
+        equivalence_swaps=(
+            ("j = 0; j < h - 1 - i; j++", "j = 1; j <= h - 1 - i; j++"),
+            ("printf(\" \");", "printf(\"%c\", ' ');"),
+        ),
+        experiment="user-study",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Rhombus pattern
+# ---------------------------------------------------------------------------
+
+
+def _rhombus_expected(h: int) -> str:
+    mid = (h + 1) // 2
+    rows = []
+    for row in range(1, h + 1):
+        distance = abs(row - mid)
+        line = " " * distance + "".join(
+            str(col % 10) for col in range(distance + 1, h - distance + 1)
+        )
+        rows.append(line)
+    return "\n".join(rows) + "\n"
+
+
+_RHOMBUS_SOURCES = (
+    r"""
+#include <stdio.h>
+int main() {
+    int h, mid, row, col, d;
+    scanf("%d", &h);
+    mid = (h + 1) / 2;
+    for (row = 1; row <= h; row++) {
+        if (row <= mid) d = mid - row;
+        else d = row - mid;
+        for (col = 0; col < d; col++) {
+            printf(" ");
+        }
+        for (col = d + 1; col <= h - d; col++) {
+            printf("%d", col % 10);
+        }
+        printf("\n");
+    }
+    return 0;
+}
+""",
+    r"""
+#include <stdio.h>
+int main() {
+    int height, middle, r, c, dist;
+    scanf("%d", &height);
+    middle = (height + 1) / 2;
+    r = 1;
+    while (r <= height) {
+        if (r <= middle) {
+            dist = middle - r;
+        } else {
+            dist = r - middle;
+        }
+        c = 0;
+        while (c < dist) {
+            printf(" ");
+            c = c + 1;
+        }
+        c = dist + 1;
+        while (c <= height - dist) {
+            printf("%d", c % 10);
+            c = c + 1;
+        }
+        printf("\n");
+        r = r + 1;
+    }
+    return 0;
+}
+""",
+)
+
+RHOMBUS = register(
+    ProblemSpec(
+        name="rhombus",
+        language="c",
+        description=(
+            "Read an odd h >= 3 and print a rhombus pattern of h lines where "
+            "each position shows its column number modulo 10."
+        ),
+        cases=tuple(
+            InputCase(stdin=(h,), expected_output=_rhombus_expected(h))
+            for h in (3, 5, 7, 9)
+        ),
+        reference_sources=tuple(s.strip("\n") for s in _RHOMBUS_SOURCES),
+        equivalence_swaps=(
+            ("c = c + 1;", "c++;"),
+            ("printf(\"%d\", col % 10);", "printf(\"%d\", (col) % 10);"),
+        ),
+        experiment="user-study",
+    )
+)

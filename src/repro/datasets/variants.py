@@ -1,0 +1,161 @@
+"""Generation of additional *correct* attempts.
+
+The paper's key resource is a large pool of correct student solutions that
+are syntactically diverse but often dynamically equivalent.  We synthesise
+such a pool from the hand-written reference solutions by
+
+* consistently renaming user variables (students pick different names), and
+* applying per-problem equivalence swaps (different but equivalent ways of
+  writing the same expression, cf. Fig. 2(c)/(d) of the paper).
+
+Renaming never changes behaviour; swaps are taken from the problem spec and
+were written to be behaviour-preserving (the generator additionally verifies
+every generated attempt against the test suite before using it).
+"""
+
+from __future__ import annotations
+
+import ast
+import random
+import re
+from typing import Sequence
+
+from .problems import ProblemSpec
+
+__all__ = ["rename_python_variables", "rename_c_variables", "make_correct_variant"]
+
+#: Pools of plausible student variable names, keyed by "role".
+_NAME_POOLS = [
+    ["result", "res", "out", "ans", "answer", "output", "deriv", "lst", "vals"],
+    ["i", "j", "k", "idx", "index", "n", "pos", "counter", "e"],
+    ["total", "summ", "acc", "value", "tot", "s", "aggregate"],
+    ["tmp", "temp", "t", "aux", "hold", "scratch"],
+    ["count", "cnt", "num", "times", "steps", "c2"],
+    ["cur", "prev", "nxt", "a2", "b2", "x2", "y2"],
+]
+
+_C_RESERVED = {
+    "main",
+    "printf",
+    "scanf",
+    "puts",
+    "int",
+    "float",
+    "double",
+    "char",
+    "long",
+    "void",
+    "if",
+    "else",
+    "while",
+    "for",
+    "do",
+    "return",
+    "break",
+    "continue",
+    "include",
+    "stdio",
+    "h",
+    "d",
+    "f",
+    "c",
+    "s",
+}
+
+_PY_RESERVED = {"range", "xrange", "len", "float", "int", "str", "append", "return"}
+
+
+def _fresh_names(old_names: Sequence[str], rng: random.Random) -> dict[str, str]:
+    mapping: dict[str, str] = {}
+    used: set[str] = set(old_names)
+    pools = [list(pool) for pool in _NAME_POOLS]
+    for pool in pools:
+        rng.shuffle(pool)
+    for position, name in enumerate(old_names):
+        if rng.random() < 0.35:
+            continue  # keep some names unchanged, as real students do
+        pool = pools[position % len(pools)]
+        for candidate in pool:
+            if candidate not in used and candidate != name:
+                mapping[name] = candidate
+                used.add(candidate)
+                break
+    return mapping
+
+
+def rename_python_variables(source: str, rng: random.Random) -> str:
+    """Consistently rename local variables of the single function in ``source``."""
+    try:
+        module = ast.parse(source)
+    except SyntaxError:
+        return source
+    functions = [n for n in module.body if isinstance(n, ast.FunctionDef)]
+    if not functions:
+        return source
+    function = functions[0]
+    params = {arg.arg for arg in function.args.args}
+    locals_: list[str] = []
+    for node in ast.walk(function):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            if node.id not in params and node.id not in locals_:
+                locals_.append(node.id)
+        if isinstance(node, ast.For) and isinstance(node.target, ast.Name):
+            if node.target.id not in params and node.target.id not in locals_:
+                locals_.append(node.target.id)
+    mapping = _fresh_names(locals_, rng)
+    mapping = {k: v for k, v in mapping.items() if k not in _PY_RESERVED}
+    if not mapping:
+        return source
+
+    class _Renamer(ast.NodeTransformer):
+        def visit_Name(self, node: ast.Name) -> ast.Name:  # noqa: N802
+            if node.id in mapping:
+                return ast.copy_location(ast.Name(id=mapping[node.id], ctx=node.ctx), node)
+            return node
+
+    renamed = _Renamer().visit(module)
+    ast.fix_missing_locations(renamed)
+    return ast.unparse(renamed)
+
+
+def rename_c_variables(source: str, rng: random.Random) -> str:
+    """Consistently rename identifiers in C source (token-level)."""
+    identifiers: list[str] = []
+    for match in re.finditer(r"[A-Za-z_][A-Za-z0-9_]*", source):
+        word = match.group(0)
+        if word in _C_RESERVED or word in identifiers:
+            continue
+        identifiers.append(word)
+    mapping = _fresh_names(identifiers, rng)
+    mapping = {k: v for k, v in mapping.items() if k not in _C_RESERVED and len(k) <= 12}
+    if not mapping:
+        return source
+
+    def replace(match: re.Match) -> str:
+        word = match.group(0)
+        return mapping.get(word, word)
+
+    # Do not touch string literals (format strings, YES/NO, ...).
+    parts = re.split(r'("(?:[^"\\]|\\.)*")', source)
+    for index in range(0, len(parts), 2):
+        parts[index] = re.sub(r"[A-Za-z_][A-Za-z0-9_]*", replace, parts[index])
+    return "".join(parts)
+
+
+def make_correct_variant(
+    problem: ProblemSpec, base_source: str, rng: random.Random
+) -> str:
+    """Produce one syntactic variant of a correct solution."""
+    source = base_source
+    swaps = list(problem.equivalence_swaps)
+    rng.shuffle(swaps)
+    applied = 0
+    for original, replacement in swaps:
+        if applied >= 2:
+            break
+        if original in source and rng.random() < 0.5:
+            source = source.replace(original, replacement, 1)
+            applied += 1
+    if problem.language == "python":
+        return rename_python_variables(source, rng)
+    return rename_c_variables(source, rng)

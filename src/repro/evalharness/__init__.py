@@ -1,0 +1,47 @@
+"""Evaluation harness: experiment runners, metrics, tables and figures."""
+
+from .experiment import AttemptResult, ProblemResult, run_experiment, run_problem
+from .figures import ascii_bar_chart, render_fig6, render_fig7a, render_fig7b
+from .metrics import (
+    RELATIVE_SIZE_BUCKETS,
+    autograder_comparison_counts,
+    cumulative_fraction_below,
+    modified_expression_distribution,
+    provenance_statistics,
+    quality_proxy,
+    relative_size_histogram,
+)
+from .tables import format_failure_breakdown, format_table1, format_table2
+from .userstudy import (
+    USER_STUDY_GENERIC_THRESHOLD,
+    USER_STUDY_TIMEOUT,
+    UserStudyProblemResult,
+    run_user_study,
+    simulate_grade,
+)
+
+__all__ = [
+    "AttemptResult",
+    "ProblemResult",
+    "run_experiment",
+    "run_problem",
+    "render_fig6",
+    "render_fig7a",
+    "render_fig7b",
+    "ascii_bar_chart",
+    "RELATIVE_SIZE_BUCKETS",
+    "relative_size_histogram",
+    "cumulative_fraction_below",
+    "modified_expression_distribution",
+    "autograder_comparison_counts",
+    "provenance_statistics",
+    "quality_proxy",
+    "format_table1",
+    "format_table2",
+    "format_failure_breakdown",
+    "UserStudyProblemResult",
+    "run_user_study",
+    "simulate_grade",
+    "USER_STUDY_TIMEOUT",
+    "USER_STUDY_GENERIC_THRESHOLD",
+]

@@ -1,0 +1,239 @@
+"""Experiment runner: clustering + repair over a synthetic corpus.
+
+This reproduces the measurement loop behind Table 1 / Figs. 6-7: for every
+problem, cluster the correct pool, then run Clara (and optionally the
+AutoGrader baseline) on every incorrect attempt, recording status, repair
+cost, relative size, number of modified expressions and timing.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..baseline import AutoGrader
+from ..core.feedback import GENERIC_FEEDBACK_THRESHOLD
+from ..core.pipeline import Clara, RepairStatus
+from ..datasets import Corpus, ProblemSpec, generate_corpus, get_problem
+from ..frontend import FrontendError, parse_source
+
+__all__ = ["AttemptResult", "ProblemResult", "run_problem", "run_experiment"]
+
+
+@dataclass
+class AttemptResult:
+    """Per-incorrect-attempt measurements."""
+
+    problem: str
+    fault_label: str
+    status: str
+    elapsed: float = 0.0
+    cost: float | None = None
+    relative_size: float | None = None
+    num_modified: int | None = None
+    provenance_members: int = 0
+    feedback_generic: bool | None = None
+    repaired_passes: bool | None = None
+    # AutoGrader baseline measurements.
+    autograder_repaired: bool | None = None
+    autograder_modified: int | None = None
+    autograder_elapsed: float | None = None
+
+    @property
+    def repaired(self) -> bool:
+        return self.status == RepairStatus.REPAIRED
+
+
+@dataclass
+class ProblemResult:
+    """Aggregated per-problem results (one row of Table 1)."""
+
+    problem: str
+    n_correct: int
+    n_clusters: int
+    n_incorrect: int
+    clustering_time: float
+    attempts: list[AttemptResult] = field(default_factory=list)
+    loc_median: float = 0.0
+    ast_size_median: float = 0.0
+
+    # -- Clara aggregates -------------------------------------------------------
+
+    @property
+    def n_repaired(self) -> int:
+        return sum(1 for a in self.attempts if a.repaired)
+
+    @property
+    def repair_rate(self) -> float:
+        return self.n_repaired / self.n_incorrect if self.n_incorrect else 0.0
+
+    @property
+    def avg_time(self) -> float:
+        times = [a.elapsed for a in self.attempts if a.repaired]
+        return statistics.fmean(times) if times else 0.0
+
+    @property
+    def median_time(self) -> float:
+        times = [a.elapsed for a in self.attempts if a.repaired]
+        return statistics.median(times) if times else 0.0
+
+    # -- AutoGrader aggregates ---------------------------------------------------
+
+    @property
+    def n_autograder_repaired(self) -> int:
+        return sum(1 for a in self.attempts if a.autograder_repaired)
+
+    @property
+    def autograder_repair_rate(self) -> float:
+        return self.n_autograder_repaired / self.n_incorrect if self.n_incorrect else 0.0
+
+    @property
+    def avg_autograder_time(self) -> float:
+        times = [
+            a.autograder_elapsed
+            for a in self.attempts
+            if a.autograder_elapsed is not None and a.autograder_repaired
+        ]
+        return statistics.fmean(times) if times else 0.0
+
+    def relative_sizes(self) -> list[float]:
+        return [a.relative_size for a in self.attempts if a.relative_size is not None]
+
+    def failure_breakdown(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for attempt in self.attempts:
+            if not attempt.repaired:
+                out[attempt.status] = out.get(attempt.status, 0) + 1
+        return out
+
+
+def _source_metrics(corpus: Corpus) -> tuple[float, float]:
+    """Median LOC and median model AST size over the correct pool."""
+    locs: list[int] = []
+    sizes: list[int] = []
+    for attempt in corpus.correct:
+        locs.append(len([l for l in attempt.source.splitlines() if l.strip()]))
+        try:
+            program = parse_source(
+                attempt.source, language=corpus.problem.language, entry=corpus.problem.entry
+            )
+            sizes.append(program.ast_size())
+        except FrontendError:
+            continue
+    return (
+        statistics.median(locs) if locs else 0.0,
+        statistics.median(sizes) if sizes else 0.0,
+    )
+
+
+def run_problem(
+    problem: ProblemSpec | str,
+    *,
+    n_correct: int | None = None,
+    n_incorrect: int | None = None,
+    seed: int = 0,
+    run_autograder: bool = False,
+    solver: str = "ilp",
+    use_cluster_expressions: bool = True,
+    timeout: float | None = 60.0,
+    generic_threshold: float = GENERIC_FEEDBACK_THRESHOLD,
+    corpus: Corpus | None = None,
+) -> ProblemResult:
+    """Run the clustering-and-repair experiment for one problem."""
+    if isinstance(problem, str):
+        problem = get_problem(problem)
+    if corpus is None:
+        corpus = generate_corpus(problem, n_correct, n_incorrect, seed=seed)
+
+    clara = Clara(
+        cases=problem.cases,
+        language=problem.language,
+        entry=problem.entry,
+        solver=solver,
+        timeout=timeout,
+        use_cluster_expressions=use_cluster_expressions,
+        generic_threshold=generic_threshold,
+    )
+    started = time.perf_counter()
+    clara.add_correct_sources(corpus.correct_sources)
+    clustering_time = time.perf_counter() - started
+
+    autograder = AutoGrader(cases=problem.cases) if run_autograder else None
+
+    loc_median, ast_median = _source_metrics(corpus)
+    result = ProblemResult(
+        problem=problem.name,
+        n_correct=len(corpus.correct),
+        n_clusters=clara.cluster_count,
+        n_incorrect=len(corpus.incorrect),
+        clustering_time=clustering_time,
+        loc_median=loc_median,
+        ast_size_median=ast_median,
+    )
+
+    for attempt in corpus.incorrect:
+        outcome = clara.repair_source(attempt.source)
+        record = AttemptResult(
+            problem=problem.name,
+            fault_label=attempt.label,
+            status=outcome.status,
+            elapsed=outcome.elapsed,
+        )
+        if outcome.repair is not None:
+            repair = outcome.repair
+            record.cost = repair.cost
+            record.relative_size = repair.relative_size()
+            record.num_modified = repair.num_modified_expressions
+            record.provenance_members = len(repair.provenance_members)
+            record.feedback_generic = outcome.feedback.generic if outcome.feedback else None
+            if repair.repaired_program is not None:
+                from ..core.inputs import is_correct
+
+                record.repaired_passes = is_correct(repair.repaired_program, problem.cases)
+        if autograder is not None:
+            try:
+                program = parse_source(
+                    attempt.source, language=problem.language, entry=problem.entry
+                )
+            except FrontendError:
+                record.autograder_repaired = False
+                record.autograder_elapsed = 0.0
+            else:
+                ag_repair = autograder.repair(program)
+                record.autograder_repaired = ag_repair is not None
+                record.autograder_elapsed = (
+                    ag_repair.elapsed if ag_repair is not None else autograder.timeout
+                )
+                record.autograder_modified = (
+                    ag_repair.num_modified_expressions if ag_repair is not None else None
+                )
+        result.attempts.append(record)
+
+    return result
+
+
+def run_experiment(
+    problems: Sequence[ProblemSpec | str],
+    *,
+    n_correct: int | None = None,
+    n_incorrect: int | None = None,
+    seed: int = 0,
+    run_autograder: bool = False,
+    solver: str = "ilp",
+    use_cluster_expressions: bool = True,
+) -> list[ProblemResult]:
+    """Run :func:`run_problem` over a list of problems."""
+    return [
+        run_problem(
+            problem,
+            n_correct=n_correct,
+            n_incorrect=n_incorrect,
+            seed=seed,
+            run_autograder=run_autograder,
+            solver=solver,
+            use_cluster_expressions=use_cluster_expressions,
+        )
+        for problem in problems
+    ]

@@ -1,0 +1,57 @@
+"""ASCII figure renderers for Fig. 6 and Fig. 7 of the paper."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .experiment import ProblemResult
+from .metrics import (
+    autograder_comparison_counts,
+    modified_expression_distribution,
+    relative_size_histogram,
+)
+
+__all__ = ["render_fig6", "render_fig7a", "render_fig7b", "ascii_bar_chart"]
+
+
+def ascii_bar_chart(data: Mapping[str, int], *, width: int = 50, title: str = "") -> str:
+    """Render a mapping as a horizontal ASCII bar chart."""
+    lines = [title] if title else []
+    peak = max(data.values(), default=0)
+    for label, value in data.items():
+        bar = "#" * (round(width * value / peak) if peak else 0)
+        lines.append(f"{label:>8} | {bar} {value}")
+    return "\n".join(lines)
+
+
+def render_fig6(results: Sequence[ProblemResult]) -> str:
+    """Figure 6: histogram of relative repair sizes."""
+    histogram = relative_size_histogram(results)
+    return ascii_bar_chart(
+        histogram, title="Figure 6 — histogram of relative repair sizes"
+    )
+
+
+def render_fig7a(results: Sequence[ProblemResult]) -> str:
+    """Figure 7(a): number of attempts where each tool modifies fewer expressions."""
+    counts = autograder_comparison_counts(results)
+    data = {
+        "equal": counts["equal"],
+        "less AG": counts["autograder_fewer"],
+        "less Clara": counts["clara_fewer"],
+    }
+    return ascii_bar_chart(
+        data,
+        title="Figure 7a — modified expressions per repair, attempts repaired by both tools",
+    )
+
+
+def render_fig7b(results: Sequence[ProblemResult]) -> str:
+    """Figure 7(b): distribution of the number of modified expressions per repair."""
+    clara = modified_expression_distribution(results, tool="clara")
+    autograder = modified_expression_distribution(results, tool="autograder")
+    lines = ["Figure 7b — distribution of modified expressions per repair"]
+    lines.append(f"{'#expr':>6} {'Clara':>8} {'AutoGrader':>12}")
+    for key in clara:
+        lines.append(f"{key:>6} {clara[key]:>8} {autograder.get(key, 0):>12}")
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Table renderers reproducing Table 1 and Table 2 of the paper."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .experiment import ProblemResult
+from .userstudy import UserStudyProblemResult
+
+__all__ = ["format_table1", "format_table2", "format_failure_breakdown"]
+
+
+def _fmt_pct(value: float) -> str:
+    return f"{100 * value:.2f}%"
+
+
+def format_table1(results: Sequence[ProblemResult], *, with_autograder: bool = True) -> str:
+    """Render Table 1: per-problem repair counts, rates and times."""
+    header = (
+        f"{'problem':<20} {'LOC':>4} {'AST':>4} {'#corr':>6} {'#clust':>7} "
+        f"{'#incorr':>8} {'Clara rep':>12} {'Clara %':>9} {'avg(med) s':>12}"
+    )
+    if with_autograder:
+        header += f" {'AG rep':>7} {'AG %':>8} {'AG avg s':>9}"
+    lines = [header, "-" * len(header)]
+
+    totals = {
+        "correct": 0,
+        "clusters": 0,
+        "incorrect": 0,
+        "repaired": 0,
+        "ag_repaired": 0,
+        "times": [],
+        "ag_times": [],
+    }
+    for result in results:
+        row = (
+            f"{result.problem:<20} {result.loc_median:>4.0f} {result.ast_size_median:>4.0f} "
+            f"{result.n_correct:>6} {result.n_clusters:>7} {result.n_incorrect:>8} "
+            f"{result.n_repaired:>12} {_fmt_pct(result.repair_rate):>9} "
+            f"{result.avg_time:>6.2f}({result.median_time:.2f})"
+        )
+        if with_autograder:
+            row += (
+                f" {result.n_autograder_repaired:>7} "
+                f"{_fmt_pct(result.autograder_repair_rate):>8} "
+                f"{result.avg_autograder_time:>9.2f}"
+            )
+        lines.append(row)
+        totals["correct"] += result.n_correct
+        totals["clusters"] += result.n_clusters
+        totals["incorrect"] += result.n_incorrect
+        totals["repaired"] += result.n_repaired
+        totals["ag_repaired"] += result.n_autograder_repaired
+        totals["times"].extend(a.elapsed for a in result.attempts if a.repaired)
+        totals["ag_times"].extend(
+            a.autograder_elapsed
+            for a in result.attempts
+            if a.autograder_repaired and a.autograder_elapsed is not None
+        )
+
+    total_rate = totals["repaired"] / totals["incorrect"] if totals["incorrect"] else 0.0
+    ag_rate = totals["ag_repaired"] / totals["incorrect"] if totals["incorrect"] else 0.0
+    avg_time = sum(totals["times"]) / len(totals["times"]) if totals["times"] else 0.0
+    avg_ag = sum(totals["ag_times"]) / len(totals["ag_times"]) if totals["ag_times"] else 0.0
+    total_row = (
+        f"{'Total':<20} {'':>4} {'':>4} {totals['correct']:>6} {totals['clusters']:>7} "
+        f"{totals['incorrect']:>8} {totals['repaired']:>12} {_fmt_pct(total_rate):>9} "
+        f"{avg_time:>6.2f}(-)  "
+    )
+    if with_autograder:
+        total_row += f" {totals['ag_repaired']:>7} {_fmt_pct(ag_rate):>8} {avg_ag:>9.2f}"
+    lines.append("-" * len(header))
+    lines.append(total_row)
+    return "\n".join(lines)
+
+
+def format_failure_breakdown(results: Sequence[ProblemResult]) -> str:
+    """Render the "(1) Clara fails" analysis of §6.2."""
+    combined: dict[str, int] = {}
+    for result in results:
+        for status, count in result.failure_breakdown().items():
+            combined[status] = combined.get(status, 0) + count
+    if not combined:
+        return "no failures"
+    lines = ["failure breakdown (unrepaired attempts):"]
+    for status, count in sorted(combined.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {status:<22} {count}")
+    return "\n".join(lines)
+
+
+def format_table2(results: Sequence[UserStudyProblemResult]) -> str:
+    """Render Table 2: the user-study summary."""
+    header = (
+        f"{'problem':<20} {'#corr':>6} {'#clust':>7} {'#incorr':>8} "
+        f"{'#feedback':>10} {'fb %':>8} {'#repair-fb':>11} {'rep-fb %':>9} "
+        f"{'avg s':>7} {'med s':>7}  {'grades 1/2/3/4/5':>18}"
+    )
+    lines = [header, "-" * len(header)]
+    for result in results:
+        grades = "/".join(str(result.grade_histogram.get(g, 0)) for g in range(1, 6))
+        lines.append(
+            f"{result.problem:<20} {result.n_correct:>6} {result.n_clusters:>7} "
+            f"{result.n_incorrect:>8} {result.n_feedback:>10} "
+            f"{_fmt_pct(result.feedback_rate):>8} {result.n_repair_feedback:>11} "
+            f"{_fmt_pct(result.repair_feedback_rate):>9} "
+            f"{result.avg_time:>7.2f} {result.median_time:>7.2f}  {grades:>18}"
+        )
+    avg_grade = _average_grade(results)
+    lines.append("-" * len(header))
+    lines.append(f"average usefulness grade over all problems: {avg_grade:.2f} (paper: 3.4)")
+    return "\n".join(lines)
+
+
+def _average_grade(results: Sequence[UserStudyProblemResult]) -> float:
+    total = 0
+    weight = 0
+    for result in results:
+        for grade, count in result.grade_histogram.items():
+            total += grade * count
+            weight += count
+    return total / weight if weight else 0.0

@@ -1,0 +1,24 @@
+"""Front-ends translating source languages into the program model."""
+
+from .errors import FrontendError, ParseError, UnsupportedFeatureError
+from .python_frontend import parse_python_function, parse_python_source
+
+__all__ = [
+    "FrontendError",
+    "ParseError",
+    "UnsupportedFeatureError",
+    "parse_python_source",
+    "parse_python_function",
+    "parse_source",
+]
+
+
+def parse_source(source: str, language: str = "python", entry: str | None = None):
+    """Parse ``source`` in the given language ("python" or "c")."""
+    if language == "python":
+        return parse_python_source(source, entry=entry)
+    if language == "c":
+        from .c import parse_c_source
+
+        return parse_c_source(source, entry=entry)
+    raise ValueError(f"unknown language: {language!r}")

@@ -1,0 +1,21 @@
+"""Mini-C front-end: lexer, parser and lowering into the program model."""
+
+from ..errors import ParseError
+from .cast import CFunction, CTranslationUnit
+from .cparser import parse_c
+from .lexer import Token, tokenize
+from .lowering import lower_function
+
+__all__ = ["tokenize", "Token", "parse_c", "parse_c_source", "CFunction", "CTranslationUnit", "lower_function"]
+
+
+def parse_c_source(source: str, entry: str | None = None):
+    """Parse C source text and translate ``entry`` (default ``main``) into a program."""
+    unit = parse_c(source)
+    target = entry or "main"
+    for function in unit.functions:
+        if function.name == target:
+            return lower_function(function, source)
+    # Fall back to the first function if there is no main (single-function
+    # exercises sometimes omit it).
+    return lower_function(unit.functions[0], source)

@@ -1,0 +1,199 @@
+"""AST node types for the mini-C subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "CNode",
+    "CExpr",
+    "CNumber",
+    "CString",
+    "CCharLit",
+    "CIdent",
+    "CUnary",
+    "CBinary",
+    "CTernary",
+    "CCall",
+    "CAssignExpr",
+    "CStmt",
+    "CDeclaration",
+    "CDeclarator",
+    "CExprStatement",
+    "CIf",
+    "CWhile",
+    "CDoWhile",
+    "CFor",
+    "CReturn",
+    "CBreak",
+    "CContinue",
+    "CBlock",
+    "CFunction",
+    "CTranslationUnit",
+]
+
+
+@dataclass
+class CNode:
+    """Base class carrying a source line number."""
+
+    line: int = 0
+
+
+# -- expressions --------------------------------------------------------------
+
+
+@dataclass
+class CExpr(CNode):
+    pass
+
+
+@dataclass
+class CNumber(CExpr):
+    text: str = "0"
+
+    @property
+    def value(self) -> int | float:
+        return float(self.text) if "." in self.text else int(self.text)
+
+
+@dataclass
+class CString(CExpr):
+    value: str = ""
+
+
+@dataclass
+class CCharLit(CExpr):
+    value: str = ""
+
+
+@dataclass
+class CIdent(CExpr):
+    name: str = ""
+
+
+@dataclass
+class CUnary(CExpr):
+    op: str = ""
+    operand: CExpr | None = None
+
+
+@dataclass
+class CBinary(CExpr):
+    op: str = ""
+    left: CExpr | None = None
+    right: CExpr | None = None
+
+
+@dataclass
+class CTernary(CExpr):
+    cond: CExpr | None = None
+    then: CExpr | None = None
+    otherwise: CExpr | None = None
+
+
+@dataclass
+class CCall(CExpr):
+    name: str = ""
+    args: list[CExpr] = field(default_factory=list)
+    #: ``&x`` arguments record the bare variable name here (for ``scanf``).
+    address_of: list[bool] = field(default_factory=list)
+
+
+@dataclass
+class CAssignExpr(CExpr):
+    """Assignment or compound assignment used in expression position
+    (``for`` headers and expression statements)."""
+
+    target: str = ""
+    op: str = "="  # "=", "+=", "-=", "*=", "/=", "%=", "++", "--"
+    value: CExpr | None = None
+
+
+# -- statements ---------------------------------------------------------------
+
+
+@dataclass
+class CStmt(CNode):
+    pass
+
+
+@dataclass
+class CDeclarator(CNode):
+    name: str = ""
+    init: CExpr | None = None
+
+
+@dataclass
+class CDeclaration(CStmt):
+    type_name: str = "int"
+    declarators: list[CDeclarator] = field(default_factory=list)
+
+
+@dataclass
+class CExprStatement(CStmt):
+    expr: CExpr | None = None
+
+
+@dataclass
+class CIf(CStmt):
+    cond: CExpr | None = None
+    then: list[CStmt] = field(default_factory=list)
+    otherwise: list[CStmt] = field(default_factory=list)
+
+
+@dataclass
+class CWhile(CStmt):
+    cond: CExpr | None = None
+    body: list[CStmt] = field(default_factory=list)
+
+
+@dataclass
+class CDoWhile(CStmt):
+    cond: CExpr | None = None
+    body: list[CStmt] = field(default_factory=list)
+
+
+@dataclass
+class CFor(CStmt):
+    init: CStmt | None = None
+    cond: CExpr | None = None
+    step: CExpr | None = None
+    body: list[CStmt] = field(default_factory=list)
+
+
+@dataclass
+class CReturn(CStmt):
+    value: CExpr | None = None
+
+
+@dataclass
+class CBreak(CStmt):
+    pass
+
+
+@dataclass
+class CContinue(CStmt):
+    pass
+
+
+@dataclass
+class CBlock(CStmt):
+    body: list[CStmt] = field(default_factory=list)
+
+
+# -- top level ------------------------------------------------------------------
+
+
+@dataclass
+class CFunction(CNode):
+    name: str = "main"
+    return_type: str = "int"
+    params: list[tuple[str, str]] = field(default_factory=list)  # (type, name)
+    body: list[CStmt] = field(default_factory=list)
+
+
+@dataclass
+class CTranslationUnit(CNode):
+    functions: list[CFunction] = field(default_factory=list)

@@ -1,0 +1,413 @@
+"""Recursive-descent parser for the mini-C subset.
+
+Grammar (informally)::
+
+    unit        := { function }
+    function    := type ident '(' params ')' block
+    block       := '{' { statement } '}'
+    statement   := declaration | if | while | do-while | for | return
+                 | break ';' | continue ';' | block | expr-statement | ';'
+    declaration := type declarator { ',' declarator } ';'
+    expr        := assignment | ternary
+    ternary     := logic-or [ '?' expr ':' expr ]
+    logic-or    := logic-and { '||' logic-and }
+    logic-and   := equality { '&&' equality }
+    equality    := relational { ('=='|'!=') relational }
+    relational  := additive { ('<'|'<='|'>'|'>=') additive }
+    additive    := multiplicative { ('+'|'-') multiplicative }
+    multiplicative := unary { ('*'|'/'|'%') unary }
+    unary       := ('-'|'+'|'!') unary | postfix
+    postfix     := primary [ '++' | '--' ]
+    primary     := number | string | char | ident | ident '(' args ')' | '(' expr ')'
+
+The supported subset deliberately mirrors what students in the first weeks of
+an introductory C course write (the problems in the paper's Table 2);
+anything else raises :class:`UnsupportedFeatureError`.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError, UnsupportedFeatureError
+from .cast import (
+    CAssignExpr,
+    CBinary,
+    CBlock,
+    CBreak,
+    CCall,
+    CCharLit,
+    CContinue,
+    CDeclaration,
+    CDeclarator,
+    CDoWhile,
+    CExpr,
+    CExprStatement,
+    CFor,
+    CFunction,
+    CIdent,
+    CIf,
+    CNumber,
+    CReturn,
+    CStmt,
+    CString,
+    CTernary,
+    CTranslationUnit,
+    CUnary,
+    CWhile,
+)
+from .lexer import Token, tokenize
+
+__all__ = ["parse_c"]
+
+_TYPE_KEYWORDS = {"int", "float", "double", "char", "long", "void"}
+_COMPOUND_ASSIGN = {"+=", "-=", "*=", "/=", "%="}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ---------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.peek()
+        self.pos += 1
+        return token
+
+    def check(self, kind: str, value: str | None = None) -> bool:
+        token = self.peek()
+        if token.kind != kind:
+            return False
+        return value is None or token.value == value
+
+    def match(self, kind: str, value: str | None = None) -> Token | None:
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        token = self.peek()
+        if not self.check(kind, value):
+            expectation = value or kind
+            raise ParseError(
+                f"expected {expectation!r} but found {token.value!r} at line {token.line}"
+            )
+        return self.advance()
+
+    # -- top level ----------------------------------------------------------------
+
+    def parse_unit(self) -> CTranslationUnit:
+        unit = CTranslationUnit(line=1)
+        while not self.check("eof"):
+            unit.functions.append(self.parse_function())
+        if not unit.functions:
+            raise ParseError("no function definition found")
+        return unit
+
+    def parse_function(self) -> CFunction:
+        type_token = self.expect("keyword")
+        if type_token.value not in _TYPE_KEYWORDS:
+            raise ParseError(f"expected a type at line {type_token.line}")
+        # Ignore pointers in the return type.
+        while self.match("op", "*"):
+            pass
+        name = self.expect("ident").value
+        self.expect("op", "(")
+        params: list[tuple[str, str]] = []
+        if not self.check("op", ")"):
+            while True:
+                param_type = self.expect("keyword").value
+                if param_type == "void" and self.check("op", ")"):
+                    break
+                while self.match("op", "*"):
+                    pass
+                param_name = self.expect("ident").value
+                params.append((param_type, param_name))
+                if not self.match("op", ","):
+                    break
+        self.expect("op", ")")
+        body = self.parse_block()
+        return CFunction(
+            line=type_token.line,
+            name=name,
+            return_type=type_token.value,
+            params=params,
+            body=body,
+        )
+
+    # -- statements ----------------------------------------------------------------
+
+    def parse_block(self) -> list[CStmt]:
+        self.expect("op", "{")
+        statements: list[CStmt] = []
+        while not self.check("op", "}"):
+            if self.check("eof"):
+                raise ParseError("unexpected end of input inside a block")
+            statements.append(self.parse_statement())
+        self.expect("op", "}")
+        return statements
+
+    def parse_statement(self) -> CStmt:
+        token = self.peek()
+        if token.kind == "op" and token.value == "{":
+            return CBlock(line=token.line, body=self.parse_block())
+        if token.kind == "op" and token.value == ";":
+            self.advance()
+            return CExprStatement(line=token.line, expr=None)
+        if token.kind == "keyword":
+            if token.value in _TYPE_KEYWORDS:
+                return self.parse_declaration()
+            if token.value == "if":
+                return self.parse_if()
+            if token.value == "while":
+                return self.parse_while()
+            if token.value == "do":
+                return self.parse_do_while()
+            if token.value == "for":
+                return self.parse_for()
+            if token.value == "return":
+                self.advance()
+                value = None if self.check("op", ";") else self.parse_expression()
+                self.expect("op", ";")
+                return CReturn(line=token.line, value=value)
+            if token.value == "break":
+                self.advance()
+                self.expect("op", ";")
+                return CBreak(line=token.line)
+            if token.value == "continue":
+                self.advance()
+                self.expect("op", ";")
+                return CContinue(line=token.line)
+            raise UnsupportedFeatureError(f"keyword {token.value!r}", token.line)
+        expr = self.parse_expression(allow_assign=True)
+        self.expect("op", ";")
+        return CExprStatement(line=token.line, expr=expr)
+
+    def parse_declaration(self) -> CDeclaration:
+        type_token = self.advance()
+        declaration = CDeclaration(line=type_token.line, type_name=type_token.value)
+        while True:
+            while self.match("op", "*"):
+                pass
+            name_token = self.expect("ident")
+            if self.check("op", "["):
+                raise UnsupportedFeatureError("array declaration", name_token.line)
+            init = None
+            if self.match("op", "="):
+                init = self.parse_expression()
+            declaration.declarators.append(
+                CDeclarator(line=name_token.line, name=name_token.value, init=init)
+            )
+            if not self.match("op", ","):
+                break
+        self.expect("op", ";")
+        return declaration
+
+    def parse_if(self) -> CIf:
+        token = self.expect("keyword", "if")
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        then = self._statement_as_block()
+        otherwise: list[CStmt] = []
+        if self.check("keyword", "else"):
+            self.advance()
+            otherwise = self._statement_as_block()
+        return CIf(line=token.line, cond=cond, then=then, otherwise=otherwise)
+
+    def parse_while(self) -> CWhile:
+        token = self.expect("keyword", "while")
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        body = self._statement_as_block()
+        return CWhile(line=token.line, cond=cond, body=body)
+
+    def parse_do_while(self) -> CDoWhile:
+        token = self.expect("keyword", "do")
+        body = self._statement_as_block()
+        self.expect("keyword", "while")
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        self.expect("op", ";")
+        return CDoWhile(line=token.line, cond=cond, body=body)
+
+    def parse_for(self) -> CFor:
+        token = self.expect("keyword", "for")
+        self.expect("op", "(")
+        init: CStmt | None = None
+        if not self.check("op", ";"):
+            if self.check("keyword") and self.peek().value in _TYPE_KEYWORDS:
+                init = self.parse_declaration()
+            else:
+                expr = self.parse_expression(allow_assign=True)
+                self.expect("op", ";")
+                init = CExprStatement(line=token.line, expr=expr)
+        else:
+            self.expect("op", ";")
+        cond = None if self.check("op", ";") else self.parse_expression()
+        self.expect("op", ";")
+        step = None if self.check("op", ")") else self.parse_expression(allow_assign=True)
+        self.expect("op", ")")
+        body = self._statement_as_block()
+        return CFor(line=token.line, init=init, cond=cond, step=step, body=body)
+
+    def _statement_as_block(self) -> list[CStmt]:
+        statement = self.parse_statement()
+        if isinstance(statement, CBlock):
+            return statement.body
+        return [statement]
+
+    # -- expressions -----------------------------------------------------------------
+
+    def parse_expression(self, allow_assign: bool = False) -> CExpr:
+        if allow_assign:
+            assignment = self._try_parse_assignment()
+            if assignment is not None:
+                return assignment
+        return self.parse_ternary()
+
+    def _try_parse_assignment(self) -> CAssignExpr | None:
+        token = self.peek()
+        if token.kind != "ident":
+            return None
+        nxt = self.peek(1)
+        if nxt.kind != "op":
+            return None
+        if nxt.value == "=" or nxt.value in _COMPOUND_ASSIGN:
+            name = self.advance().value
+            op = self.advance().value
+            value = self.parse_expression(allow_assign=True)
+            return CAssignExpr(line=token.line, target=name, op=op, value=value)
+        if nxt.value in ("++", "--"):
+            name = self.advance().value
+            op = self.advance().value
+            return CAssignExpr(line=token.line, target=name, op=op, value=None)
+        return None
+
+    def parse_ternary(self) -> CExpr:
+        cond = self.parse_logic_or()
+        if self.match("op", "?"):
+            then = self.parse_expression()
+            self.expect("op", ":")
+            otherwise = self.parse_expression()
+            return CTernary(line=cond.line, cond=cond, then=then, otherwise=otherwise)
+        return cond
+
+    def parse_logic_or(self) -> CExpr:
+        left = self.parse_logic_and()
+        while self.check("op", "||"):
+            line = self.advance().line
+            right = self.parse_logic_and()
+            left = CBinary(line=line, op="||", left=left, right=right)
+        return left
+
+    def parse_logic_and(self) -> CExpr:
+        left = self.parse_equality()
+        while self.check("op", "&&"):
+            line = self.advance().line
+            right = self.parse_equality()
+            left = CBinary(line=line, op="&&", left=left, right=right)
+        return left
+
+    def parse_equality(self) -> CExpr:
+        left = self.parse_relational()
+        while self.peek().kind == "op" and self.peek().value in ("==", "!="):
+            op = self.advance()
+            right = self.parse_relational()
+            left = CBinary(line=op.line, op=op.value, left=left, right=right)
+        return left
+
+    def parse_relational(self) -> CExpr:
+        left = self.parse_additive()
+        while self.peek().kind == "op" and self.peek().value in ("<", "<=", ">", ">="):
+            op = self.advance()
+            right = self.parse_additive()
+            left = CBinary(line=op.line, op=op.value, left=left, right=right)
+        return left
+
+    def parse_additive(self) -> CExpr:
+        left = self.parse_multiplicative()
+        while self.peek().kind == "op" and self.peek().value in ("+", "-"):
+            op = self.advance()
+            right = self.parse_multiplicative()
+            left = CBinary(line=op.line, op=op.value, left=left, right=right)
+        return left
+
+    def parse_multiplicative(self) -> CExpr:
+        left = self.parse_unary()
+        while self.peek().kind == "op" and self.peek().value in ("*", "/", "%"):
+            op = self.advance()
+            right = self.parse_unary()
+            left = CBinary(line=op.line, op=op.value, left=left, right=right)
+        return left
+
+    def parse_unary(self) -> CExpr:
+        token = self.peek()
+        if token.kind == "op" and token.value in ("-", "+", "!"):
+            self.advance()
+            operand = self.parse_unary()
+            return CUnary(line=token.line, op=token.value, operand=operand)
+        if token.kind == "op" and token.value in ("++", "--"):
+            # Prefix increment as an expression (common in for headers).
+            self.advance()
+            name = self.expect("ident").value
+            return CAssignExpr(line=token.line, target=name, op=token.value, value=None)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> CExpr:
+        expr = self.parse_primary()
+        token = self.peek()
+        if token.kind == "op" and token.value in ("++", "--"):
+            if not isinstance(expr, CIdent):
+                raise UnsupportedFeatureError("increment of a non-variable", token.line)
+            self.advance()
+            return CAssignExpr(line=token.line, target=expr.name, op=token.value, value=None)
+        return expr
+
+    def parse_primary(self) -> CExpr:
+        token = self.peek()
+        if token.kind == "number":
+            self.advance()
+            return CNumber(line=token.line, text=token.value)
+        if token.kind == "string":
+            self.advance()
+            return CString(line=token.line, value=token.value)
+        if token.kind == "char":
+            self.advance()
+            return CCharLit(line=token.line, value=token.value)
+        if token.kind == "ident":
+            self.advance()
+            if self.check("op", "("):
+                return self._parse_call(token)
+            return CIdent(line=token.line, name=token.value)
+        if token.kind == "op" and token.value == "(":
+            self.advance()
+            expr = self.parse_expression()
+            self.expect("op", ")")
+            return expr
+        raise ParseError(f"unexpected token {token.value!r} at line {token.line}")
+
+    def _parse_call(self, name_token: Token) -> CCall:
+        self.expect("op", "(")
+        call = CCall(line=name_token.line, name=name_token.value)
+        if not self.check("op", ")"):
+            while True:
+                address_of = bool(self.match("op", "&"))
+                call.args.append(self.parse_expression())
+                call.address_of.append(address_of)
+                if not self.match("op", ","):
+                    break
+        self.expect("op", ")")
+        return call
+
+
+def parse_c(source: str) -> CTranslationUnit:
+    """Parse mini-C source text into a :class:`CTranslationUnit`."""
+    tokens = tokenize(source)
+    return _Parser(tokens).parse_unit()

@@ -1,0 +1,177 @@
+"""Lexer for the mini-C subset used by the user-study assignments.
+
+The user study in the paper (§6.3) uses introductory C programs: integer
+arithmetic, ``scanf``/``printf``, ``if``/``while``/``for`` and simple
+functions.  The lexer produces a flat token stream consumed by the
+recursive-descent parser in :mod:`repro.frontend.c.cparser`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParseError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "int",
+    "float",
+    "double",
+    "char",
+    "long",
+    "void",
+    "if",
+    "else",
+    "while",
+    "for",
+    "do",
+    "return",
+    "break",
+    "continue",
+}
+
+_TWO_CHAR_OPERATORS = {
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "++",
+    "--",
+}
+
+_ONE_CHAR_OPERATORS = set("+-*/%<>=!&|?:,;(){}[]")
+
+_ESCAPES = {"n": "\n", "t": "\t", "0": "\0", "\\": "\\", '"': '"', "'": "'"}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str  # "ident", "keyword", "number", "string", "char", "op", "eof"
+    value: str
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{self.kind}({self.value!r})@{self.line}"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenise C source text; raises :class:`ParseError` on invalid input."""
+    tokens: list[Token] = []
+    line = 1
+    i = 0
+    length = len(source)
+
+    while i < length:
+        ch = source[i]
+
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+
+        # Preprocessor directives: skip the whole line.
+        if ch == "#":
+            while i < length and source[i] != "\n":
+                i += 1
+            continue
+
+        # Comments.
+        if source.startswith("//", i):
+            while i < length and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise ParseError(f"unterminated comment at line {line}")
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+
+        # String literal.
+        if ch == '"':
+            text, consumed = _read_quoted(source, i, '"', line)
+            tokens.append(Token("string", text, line))
+            i += consumed
+            continue
+
+        # Character literal.
+        if ch == "'":
+            text, consumed = _read_quoted(source, i, "'", line)
+            if len(text) != 1:
+                raise ParseError(f"invalid character literal at line {line}")
+            tokens.append(Token("char", text, line))
+            i += consumed
+            continue
+
+        # Number.
+        if ch.isdigit() or (ch == "." and i + 1 < length and source[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            while i < length and (source[i].isdigit() or (source[i] == "." and not seen_dot)):
+                if source[i] == ".":
+                    seen_dot = True
+                i += 1
+            tokens.append(Token("number", source[start:i], line))
+            continue
+
+        # Identifier or keyword.
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < length and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            word = source[start:i]
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, line))
+            continue
+
+        # Operators and punctuation.
+        two = source[i : i + 2]
+        if two in _TWO_CHAR_OPERATORS:
+            tokens.append(Token("op", two, line))
+            i += 2
+            continue
+        if ch in _ONE_CHAR_OPERATORS:
+            tokens.append(Token("op", ch, line))
+            i += 1
+            continue
+
+        raise ParseError(f"unexpected character {ch!r} at line {line}")
+
+    tokens.append(Token("eof", "", line))
+    return tokens
+
+
+def _read_quoted(source: str, start: int, quote: str, line: int) -> tuple[str, int]:
+    """Read a quoted literal starting at ``start``; return (text, chars consumed)."""
+    i = start + 1
+    out: list[str] = []
+    while i < len(source):
+        ch = source[i]
+        if ch == "\\":
+            if i + 1 >= len(source):
+                break
+            escape = source[i + 1]
+            out.append(_ESCAPES.get(escape, escape))
+            i += 2
+            continue
+        if ch == quote:
+            return "".join(out), i - start + 1
+        if ch == "\n":
+            break
+        out.append(ch)
+        i += 1
+    raise ParseError(f"unterminated {quote} literal at line {line}")

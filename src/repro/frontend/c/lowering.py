@@ -1,0 +1,467 @@
+"""Lowering of mini-C ASTs into the program model.
+
+Rather than duplicating the block/guard machinery of the Python front-end,
+the C front-end lowers its AST to the equivalent Python ``ast`` nodes and
+reuses :class:`repro.frontend.python_frontend._Translator`:
+
+* ``for (init; cond; step)`` becomes ``init; while cond: body; step``;
+* ``printf(fmt, ...)`` appends ``StrFormat(fmt, ...)`` to the ``$out``
+  variable;
+* ``scanf("%d", &x)`` reads the head of the ``$stdin`` list;
+* ``/`` between integer-typed operands becomes floor division, otherwise true
+  division (declared ``float``/``double`` variables and float literals
+  propagate float-ness).
+
+The resulting :class:`~repro.model.program.Program` is indistinguishable from
+one produced from Python source, which is exactly what lets the clustering
+and repair algorithms work unchanged on the C user-study problems (§6.3).
+"""
+
+from __future__ import annotations
+
+import ast as pyast
+
+from ...model.program import Program
+from ..errors import UnsupportedFeatureError
+from ..python_frontend import parse_python_function
+from .cast import (
+    CAssignExpr,
+    CBinary,
+    CBlock,
+    CBreak,
+    CCall,
+    CCharLit,
+    CContinue,
+    CDeclaration,
+    CDoWhile,
+    CExpr,
+    CExprStatement,
+    CFor,
+    CFunction,
+    CIdent,
+    CIf,
+    CNumber,
+    CReturn,
+    CStmt,
+    CString,
+    CTernary,
+    CUnary,
+    CWhile,
+)
+
+__all__ = ["lower_function"]
+
+_STDOUT = "$out"
+_STDIN = "$stdin"
+
+_BINARY_OPS = {
+    "+": pyast.Add,
+    "-": pyast.Sub,
+    "*": pyast.Mult,
+    "%": pyast.Mod,
+}
+
+_COMPARE_OPS = {
+    "==": pyast.Eq,
+    "!=": pyast.NotEq,
+    "<": pyast.Lt,
+    "<=": pyast.LtE,
+    ">": pyast.Gt,
+    ">=": pyast.GtE,
+}
+
+_COMPOUND_OPS = {
+    "+=": pyast.Add,
+    "-=": pyast.Sub,
+    "*=": pyast.Mult,
+    "/=": pyast.Div,
+    "%=": pyast.Mod,
+}
+
+
+def _at(node: pyast.AST, line: int) -> pyast.AST:
+    """Attach location info required by the Python translator."""
+    node.lineno = max(line, 1)
+    node.col_offset = 0
+    node.end_lineno = max(line, 1)
+    node.end_col_offset = 0
+    return node
+
+
+class _Lowering:
+    """Lowers one C function to a Python ``ast.FunctionDef``."""
+
+    def __init__(self, function: CFunction) -> None:
+        self.function = function
+        self.float_vars: set[str] = {
+            name for type_name, name in function.params if type_name in ("float", "double")
+        }
+        self._collect_float_declarations(function.body)
+
+    def _collect_float_declarations(self, statements: list[CStmt]) -> None:
+        for statement in statements:
+            if isinstance(statement, CDeclaration):
+                if statement.type_name in ("float", "double"):
+                    for declarator in statement.declarators:
+                        self.float_vars.add(declarator.name)
+            elif isinstance(statement, (CIf,)):
+                self._collect_float_declarations(statement.then)
+                self._collect_float_declarations(statement.otherwise)
+            elif isinstance(statement, (CWhile, CDoWhile, CFor)):
+                self._collect_float_declarations(statement.body)
+            elif isinstance(statement, CBlock):
+                self._collect_float_declarations(statement.body)
+
+    # -- expression lowering ------------------------------------------------------
+
+    def _is_float(self, expr: CExpr | None) -> bool:
+        if expr is None:
+            return False
+        if isinstance(expr, CNumber):
+            return "." in expr.text
+        if isinstance(expr, CIdent):
+            return expr.name in self.float_vars
+        if isinstance(expr, CUnary):
+            return self._is_float(expr.operand)
+        if isinstance(expr, CBinary):
+            if expr.op == "/":
+                return self._is_float(expr.left) or self._is_float(expr.right)
+            return self._is_float(expr.left) or self._is_float(expr.right)
+        if isinstance(expr, CTernary):
+            return self._is_float(expr.then) or self._is_float(expr.otherwise)
+        if isinstance(expr, CCall):
+            return expr.name in ("sqrt", "pow", "fabs")
+        return False
+
+    def lower_expr(self, expr: CExpr) -> pyast.expr:
+        line = expr.line
+        if isinstance(expr, CNumber):
+            return _at(pyast.Constant(value=expr.value), line)
+        if isinstance(expr, CString):
+            return _at(pyast.Constant(value=expr.value), line)
+        if isinstance(expr, CCharLit):
+            return _at(pyast.Constant(value=expr.value), line)
+        if isinstance(expr, CIdent):
+            return _at(pyast.Name(id=expr.name, ctx=pyast.Load()), line)
+        if isinstance(expr, CUnary):
+            operand = self.lower_expr(expr.operand)
+            if expr.op == "-":
+                return _at(pyast.UnaryOp(op=pyast.USub(), operand=operand), line)
+            if expr.op == "+":
+                return _at(pyast.UnaryOp(op=pyast.UAdd(), operand=operand), line)
+            if expr.op == "!":
+                return _at(pyast.UnaryOp(op=pyast.Not(), operand=operand), line)
+            raise UnsupportedFeatureError(f"unary operator {expr.op!r}", line)
+        if isinstance(expr, CBinary):
+            return self._lower_binary(expr)
+        if isinstance(expr, CTernary):
+            return _at(
+                pyast.IfExp(
+                    test=self.lower_expr(expr.cond),
+                    body=self.lower_expr(expr.then),
+                    orelse=self.lower_expr(expr.otherwise),
+                ),
+                line,
+            )
+        if isinstance(expr, CCall):
+            return self._lower_call_expr(expr)
+        if isinstance(expr, CAssignExpr):
+            raise UnsupportedFeatureError("assignment used as a value", line)
+        raise UnsupportedFeatureError(type(expr).__name__, line)
+
+    def _lower_binary(self, expr: CBinary) -> pyast.expr:
+        line = expr.line
+        left = self.lower_expr(expr.left)
+        right = self.lower_expr(expr.right)
+        if expr.op in _BINARY_OPS:
+            return _at(pyast.BinOp(left=left, op=_BINARY_OPS[expr.op](), right=right), line)
+        if expr.op == "/":
+            op = pyast.Div() if self._is_float(expr.left) or self._is_float(expr.right) else pyast.FloorDiv()
+            return _at(pyast.BinOp(left=left, op=op, right=right), line)
+        if expr.op in _COMPARE_OPS:
+            return _at(
+                pyast.Compare(left=left, ops=[_COMPARE_OPS[expr.op]()], comparators=[right]),
+                line,
+            )
+        if expr.op == "&&":
+            return _at(pyast.BoolOp(op=pyast.And(), values=[left, right]), line)
+        if expr.op == "||":
+            return _at(pyast.BoolOp(op=pyast.Or(), values=[left, right]), line)
+        raise UnsupportedFeatureError(f"operator {expr.op!r}", line)
+
+    def _lower_call_expr(self, call: CCall) -> pyast.expr:
+        line = call.line
+        if call.name in ("printf", "scanf"):
+            raise UnsupportedFeatureError(f"{call.name} used as a value", line)
+        args = [self.lower_expr(arg) for arg in call.args]
+        mapping = {"fabs": "abs", "sqrt": "sqrt", "pow": "pow", "abs": "abs"}
+        name = mapping.get(call.name, call.name)
+        return _at(
+            pyast.Call(func=_at(pyast.Name(id=name, ctx=pyast.Load()), line), args=args, keywords=[]),
+            line,
+        )
+
+    # -- statement lowering -----------------------------------------------------
+
+    def lower_statements(self, statements: list[CStmt]) -> list[pyast.stmt]:
+        out: list[pyast.stmt] = []
+        for statement in statements:
+            out.extend(self.lower_statement(statement))
+        return out
+
+    def lower_statement(self, statement: CStmt) -> list[pyast.stmt]:
+        line = statement.line
+        if isinstance(statement, CDeclaration):
+            out: list[pyast.stmt] = []
+            for declarator in statement.declarators:
+                if declarator.init is None:
+                    continue
+                out.append(self._assign(declarator.name, self.lower_expr(declarator.init), line))
+            return out
+        if isinstance(statement, CExprStatement):
+            if statement.expr is None:
+                return []
+            return self._lower_expression_statement(statement.expr)
+        if isinstance(statement, CIf):
+            return [
+                _at(
+                    pyast.If(
+                        test=self.lower_expr(statement.cond),
+                        body=self.lower_statements(statement.then) or [_at(pyast.Pass(), line)],
+                        orelse=self.lower_statements(statement.otherwise),
+                    ),
+                    line,
+                )
+            ]
+        if isinstance(statement, CWhile):
+            return [
+                _at(
+                    pyast.While(
+                        test=self.lower_expr(statement.cond),
+                        body=self.lower_statements(statement.body) or [_at(pyast.Pass(), line)],
+                        orelse=[],
+                    ),
+                    line,
+                )
+            ]
+        if isinstance(statement, CDoWhile):
+            body = self.lower_statements(statement.body)
+            loop = _at(
+                pyast.While(
+                    test=self.lower_expr(statement.cond),
+                    body=self.lower_statements(statement.body) or [_at(pyast.Pass(), line)],
+                    orelse=[],
+                ),
+                line,
+            )
+            return body + [loop]
+        if isinstance(statement, CFor):
+            return self._lower_for(statement)
+        if isinstance(statement, CReturn):
+            value = self.lower_expr(statement.value) if statement.value is not None else None
+            return [_at(pyast.Return(value=value), line)]
+        if isinstance(statement, CBreak):
+            return [_at(pyast.Break(), line)]
+        if isinstance(statement, CContinue):
+            return [_at(pyast.Continue(), line)]
+        if isinstance(statement, CBlock):
+            return self.lower_statements(statement.body)
+        raise UnsupportedFeatureError(type(statement).__name__, line)
+
+    def _lower_for(self, statement: CFor) -> list[pyast.stmt]:
+        line = statement.line
+        if any(isinstance(s, CContinue) for s in _walk_statements(statement.body)):
+            raise UnsupportedFeatureError("continue inside a for loop", line)
+        out: list[pyast.stmt] = []
+        if statement.init is not None:
+            out.extend(self.lower_statement(statement.init))
+        condition = (
+            self.lower_expr(statement.cond)
+            if statement.cond is not None
+            else _at(pyast.Constant(value=True), line)
+        )
+        body = self.lower_statements(statement.body)
+        if statement.step is not None:
+            body.extend(self._lower_expression_statement(statement.step))
+        out.append(_at(pyast.While(test=condition, body=body or [_at(pyast.Pass(), line)], orelse=[]), line))
+        return out
+
+    def _lower_expression_statement(self, expr: CExpr) -> list[pyast.stmt]:
+        line = expr.line
+        if isinstance(expr, CAssignExpr):
+            return [self._lower_assignment(expr)]
+        if isinstance(expr, CCall):
+            if expr.name == "printf":
+                return self._lower_printf(expr)
+            if expr.name == "scanf":
+                return self._lower_scanf(expr)
+            if expr.name == "puts":
+                return self._lower_puts(expr)
+            if expr.name in ("srand", "fflush", "getchar"):
+                return []
+            # Any other call evaluated for effect only: no observable effect
+            # in our model, so drop it.
+            return []
+        # Expression statement without effect (e.g. a stray `x;`).
+        return []
+
+    def _lower_assignment(self, expr: CAssignExpr) -> pyast.stmt:
+        line = expr.line
+        if expr.op == "=":
+            return self._assign(expr.target, self.lower_expr(expr.value), line)
+        if expr.op in _COMPOUND_OPS:
+            op = _COMPOUND_OPS[expr.op]
+            if expr.op == "/=" and not (
+                self._is_float(expr.value) or expr.target in self.float_vars
+            ):
+                op = pyast.FloorDiv
+            return _at(
+                pyast.AugAssign(
+                    target=_at(pyast.Name(id=expr.target, ctx=pyast.Store()), line),
+                    op=op(),
+                    value=self.lower_expr(expr.value),
+                ),
+                line,
+            )
+        if expr.op in ("++", "--"):
+            op = pyast.Add if expr.op == "++" else pyast.Sub
+            return _at(
+                pyast.AugAssign(
+                    target=_at(pyast.Name(id=expr.target, ctx=pyast.Store()), line),
+                    op=op(),
+                    value=_at(pyast.Constant(value=1), line),
+                ),
+                line,
+            )
+        raise UnsupportedFeatureError(f"assignment operator {expr.op!r}", line)
+
+    def _assign(self, name: str, value: pyast.expr, line: int) -> pyast.stmt:
+        return _at(
+            pyast.Assign(
+                targets=[_at(pyast.Name(id=name, ctx=pyast.Store()), line)], value=value
+            ),
+            line,
+        )
+
+    def _lower_printf(self, call: CCall) -> list[pyast.stmt]:
+        line = call.line
+        if not call.args:
+            return []
+        formatted = _at(
+            pyast.Call(
+                func=_at(pyast.Name(id="StrFormat", ctx=pyast.Load()), line),
+                args=[self.lower_expr(arg) for arg in call.args],
+                keywords=[],
+            ),
+            line,
+        )
+        return [
+            _at(
+                pyast.AugAssign(
+                    target=_at(pyast.Name(id=_STDOUT, ctx=pyast.Store()), line),
+                    op=pyast.Add(),
+                    value=formatted,
+                ),
+                line,
+            )
+        ]
+
+    def _lower_puts(self, call: CCall) -> list[pyast.stmt]:
+        line = call.line
+        if len(call.args) != 1:
+            return []
+        text = _at(
+            pyast.BinOp(
+                left=self.lower_expr(call.args[0]),
+                op=pyast.Add(),
+                right=_at(pyast.Constant(value="\n"), line),
+            ),
+            line,
+        )
+        return [
+            _at(
+                pyast.AugAssign(
+                    target=_at(pyast.Name(id=_STDOUT, ctx=pyast.Store()), line),
+                    op=pyast.Add(),
+                    value=text,
+                ),
+                line,
+            )
+        ]
+
+    def _lower_scanf(self, call: CCall) -> list[pyast.stmt]:
+        line = call.line
+        out: list[pyast.stmt] = []
+        for arg, is_address in zip(call.args, call.address_of):
+            if not is_address:
+                continue  # the format string
+            if not isinstance(arg, CIdent):
+                raise UnsupportedFeatureError("scanf into a non-variable", line)
+            head = _at(
+                pyast.Call(
+                    func=_at(pyast.Name(id="ListHead", ctx=pyast.Load()), line),
+                    args=[_at(pyast.Name(id=_STDIN, ctx=pyast.Load()), line)],
+                    keywords=[],
+                ),
+                line,
+            )
+            tail = _at(
+                pyast.Call(
+                    func=_at(pyast.Name(id="ListTail", ctx=pyast.Load()), line),
+                    args=[_at(pyast.Name(id=_STDIN, ctx=pyast.Load()), line)],
+                    keywords=[],
+                ),
+                line,
+            )
+            out.append(self._assign(arg.name, head, line))
+            out.append(self._assign(_STDIN, tail, line))
+        return out
+
+    # -- function lowering --------------------------------------------------------
+
+    def lower(self) -> pyast.FunctionDef:
+        line = self.function.line
+        args = pyast.arguments(
+            posonlyargs=[],
+            args=[
+                _at(pyast.arg(arg=name, annotation=None), line)
+                for _, name in self.function.params
+            ],
+            vararg=None,
+            kwonlyargs=[],
+            kw_defaults=[],
+            kwarg=None,
+            defaults=[],
+        )
+        body = self.lower_statements(self.function.body) or [_at(pyast.Pass(), line)]
+        node = pyast.FunctionDef(
+            name=self.function.name,
+            args=args,
+            body=body,
+            decorator_list=[],
+            returns=None,
+            type_comment=None,
+        )
+        return _at(node, line)
+
+
+def _walk_statements(statements: list[CStmt]):
+    for statement in statements:
+        yield statement
+        if isinstance(statement, CIf):
+            yield from _walk_statements(statement.then)
+            yield from _walk_statements(statement.otherwise)
+        elif isinstance(statement, (CWhile, CDoWhile, CFor)):
+            # Nested loops have their own continue scope; do not descend.
+            continue
+        elif isinstance(statement, CBlock):
+            yield from _walk_statements(statement.body)
+
+
+def lower_function(function: CFunction, source: str) -> Program:
+    """Lower one C function into a :class:`Program` via the Python translator."""
+    lowering = _Lowering(function)
+    funcdef = lowering.lower()
+    program = parse_python_function(funcdef, source)
+    program.language = "c"
+    return program

@@ -1,0 +1,29 @@
+"""Errors raised by the front-ends.
+
+The evaluation in the paper distinguishes attempts that could not even be
+parsed or that use unsupported language features (69 of the 110 failures in
+Table 1's discussion).  We reproduce that by raising structured exceptions the
+pipeline can count.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FrontendError", "ParseError", "UnsupportedFeatureError"]
+
+
+class FrontendError(Exception):
+    """Base class for all front-end failures."""
+
+
+class ParseError(FrontendError):
+    """The source text could not be parsed at all."""
+
+
+class UnsupportedFeatureError(FrontendError):
+    """The program uses a language feature outside the supported subset."""
+
+    def __init__(self, feature: str, line: int | None = None) -> None:
+        self.feature = feature
+        self.line = line
+        location = f" (line {line})" if line is not None else ""
+        super().__init__(f"unsupported feature: {feature}{location}")

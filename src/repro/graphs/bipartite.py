@@ -1,0 +1,102 @@
+"""Maximum bipartite matching (Hopcroft–Karp) and perfect-matching search.
+
+The matching algorithm of the paper (Fig. 4, line 11) reduces finding a
+matching witness to finding a *perfect bijective* mapping inside the
+compatibility relation ``M ⊆ V_Q × V_P``.  We implement Hopcroft–Karp from
+scratch (the paper cites Uno [40] for the enumeration variant; one maximum
+matching is enough to decide existence and to return a witness).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Mapping, Sequence
+
+__all__ = ["hopcroft_karp", "perfect_matching", "maximum_matching_size"]
+
+_INF = float("inf")
+
+
+def hopcroft_karp(
+    left: Sequence[Hashable],
+    right: Sequence[Hashable],
+    edges: Mapping[Hashable, Iterable[Hashable]],
+) -> dict[Hashable, Hashable]:
+    """Return a maximum matching as a dict ``left_vertex -> right_vertex``.
+
+    Args:
+        left: Vertices of the left partition.
+        right: Vertices of the right partition.
+        edges: Adjacency of left vertices (iterable of right vertices).
+    """
+    adjacency = {u: list(edges.get(u, ())) for u in left}
+    match_left: dict[Hashable, Hashable | None] = {u: None for u in left}
+    match_right: dict[Hashable, Hashable | None] = {v: None for v in right}
+    distance: dict[Hashable, float] = {}
+
+    def bfs() -> bool:
+        queue: deque[Hashable] = deque()
+        for u in left:
+            if match_left[u] is None:
+                distance[u] = 0
+                queue.append(u)
+            else:
+                distance[u] = _INF
+        reachable_free = False
+        while queue:
+            u = queue.popleft()
+            for v in adjacency[u]:
+                partner = match_right.get(v)
+                if partner is None:
+                    reachable_free = True
+                elif distance[partner] == _INF:
+                    distance[partner] = distance[u] + 1
+                    queue.append(partner)
+        return reachable_free
+
+    def dfs(u: Hashable) -> bool:
+        for v in adjacency[u]:
+            partner = match_right.get(v)
+            if partner is None or (
+                distance.get(partner) == distance[u] + 1 and dfs(partner)
+            ):
+                match_left[u] = v
+                match_right[v] = u
+                return True
+        distance[u] = _INF
+        return False
+
+    while bfs():
+        for u in left:
+            if match_left[u] is None:
+                dfs(u)
+
+    return {u: v for u, v in match_left.items() if v is not None}
+
+
+def maximum_matching_size(
+    left: Sequence[Hashable],
+    right: Sequence[Hashable],
+    edges: Mapping[Hashable, Iterable[Hashable]],
+) -> int:
+    """Size of a maximum matching."""
+    return len(hopcroft_karp(left, right, edges))
+
+
+def perfect_matching(
+    left: Sequence[Hashable],
+    right: Sequence[Hashable],
+    edges: Mapping[Hashable, Iterable[Hashable]],
+) -> dict[Hashable, Hashable] | None:
+    """Return a perfect bijective matching or ``None`` if none exists.
+
+    A perfect matching here means every left vertex *and* every right vertex
+    is matched, i.e. the relation contains a bijection; this is exactly the
+    ``BijectiveMapping`` step of the paper's matching algorithm.
+    """
+    if len(left) != len(right):
+        return None
+    matching = hopcroft_karp(left, right, edges)
+    if len(matching) != len(left):
+        return None
+    return matching

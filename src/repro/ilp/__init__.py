@@ -1,0 +1,13 @@
+"""0-1 integer linear programming substrate."""
+
+from .problem import Constraint, IlpProblem, IlpSolution
+from .solver import IlpError, InfeasibleError, solve
+
+__all__ = [
+    "Constraint",
+    "IlpProblem",
+    "IlpSolution",
+    "solve",
+    "IlpError",
+    "InfeasibleError",
+]

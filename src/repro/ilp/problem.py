@@ -1,0 +1,117 @@
+"""Zero-one integer linear programs (paper Def. 5.5).
+
+A problem consists of binary variables, linear constraints with sense ``=``,
+``>=`` or ``<=``, and a linear objective to minimise or maximise.  This is
+exactly the class of problems the repair algorithm produces; the solver in
+:mod:`repro.ilp.solver` replaces the off-the-shelf ``lpsolve`` used by the
+paper's implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+__all__ = ["Constraint", "IlpProblem", "IlpSolution"]
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A linear constraint ``sum(coeffs[v] * v) sense rhs``."""
+
+    coeffs: tuple[tuple[str, float], ...]
+    sense: str  # "==", ">=" or "<="
+    rhs: float
+    name: str = ""
+
+    def variables(self) -> list[str]:
+        return [var for var, _ in self.coeffs]
+
+
+@dataclass
+class IlpSolution:
+    """A feasible assignment together with its objective value."""
+
+    values: dict[str, int]
+    objective: float
+    optimal: bool = True
+    nodes_explored: int = 0
+
+    def __getitem__(self, var: str) -> int:
+        return self.values[var]
+
+
+class IlpProblem:
+    """A 0-1 ILP under construction."""
+
+    def __init__(self, *, minimize: bool = True) -> None:
+        self.minimize = minimize
+        self.variables: list[str] = []
+        self._variable_set: set[str] = set()
+        self.constraints: list[Constraint] = []
+        self.objective: dict[str, float] = {}
+
+    # -- construction ----------------------------------------------------------
+
+    def add_variable(self, name: str, objective: float = 0.0) -> str:
+        """Declare a binary variable; repeated declarations are idempotent."""
+        if name not in self._variable_set:
+            self.variables.append(name)
+            self._variable_set.add(name)
+        if objective:
+            self.objective[name] = self.objective.get(name, 0.0) + objective
+        return name
+
+    def set_objective_coefficient(self, name: str, coefficient: float) -> None:
+        self.add_variable(name)
+        self.objective[name] = coefficient
+
+    def add_constraint(
+        self,
+        coeffs: Mapping[str, float] | Iterable[tuple[str, float]],
+        sense: str,
+        rhs: float,
+        name: str = "",
+    ) -> Constraint:
+        """Add ``sum(coeff * var) sense rhs``; unknown variables are declared."""
+        if sense not in ("==", ">=", "<="):
+            raise ValueError(f"invalid constraint sense: {sense!r}")
+        items = tuple(coeffs.items()) if isinstance(coeffs, Mapping) else tuple(coeffs)
+        for var, _ in items:
+            self.add_variable(var)
+        constraint = Constraint(items, sense, float(rhs), name)
+        self.constraints.append(constraint)
+        return constraint
+
+    def add_exactly_one(self, variables: Iterable[str], name: str = "") -> Constraint:
+        """Convenience for the ubiquitous ``sum(vars) == 1`` constraints."""
+        return self.add_constraint([(v, 1.0) for v in variables], "==", 1.0, name)
+
+    def add_implication(self, antecedent: str, consequent: str, name: str = "") -> Constraint:
+        """Add ``antecedent -> consequent`` as ``-antecedent + consequent >= 0``."""
+        return self.add_constraint(
+            [(antecedent, -1.0), (consequent, 1.0)], ">=", 0.0, name
+        )
+
+    # -- introspection ----------------------------------------------------------
+
+    def objective_value(self, values: Mapping[str, int]) -> float:
+        return sum(coeff * values.get(var, 0) for var, coeff in self.objective.items())
+
+    def is_feasible(self, values: Mapping[str, int]) -> bool:
+        """Check a full assignment against every constraint (used by tests)."""
+        for constraint in self.constraints:
+            total = sum(coeff * values.get(var, 0) for var, coeff in constraint.coeffs)
+            if constraint.sense == "==" and abs(total - constraint.rhs) > 1e-9:
+                return False
+            if constraint.sense == ">=" and total < constraint.rhs - 1e-9:
+                return False
+            if constraint.sense == "<=" and total > constraint.rhs + 1e-9:
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"<IlpProblem vars={len(self.variables)} "
+            f"constraints={len(self.constraints)}>"
+        )

@@ -1,0 +1,243 @@
+"""Branch-and-bound solver for 0-1 ILPs.
+
+The repair encoding (paper Def. 5.5) produces problems with a very regular
+structure: "exactly one" choice groups (one per representative variable, one
+per implementation variable, one per location/variable pair) plus implication
+constraints tying selected local repairs to the chosen variable relation, with
+non-negative objective coefficients only on the local-repair variables.
+
+The solver below is a generic 0-1 branch-and-bound with:
+
+* constraint propagation to fixpoint (bound reasoning on every constraint,
+  with the special cases of choice groups and implications falling out of the
+  generic rule);
+* a lower bound that adds, for every undecided choice group, the cheapest
+  still-available member (each variable counted at most once);
+* best-first variable selection (most constrained group first, cheapest value
+  first), which reaches the optimum quickly for repair instances.
+
+A node limit protects against pathological inputs; if it is hit, the best
+incumbent found so far is returned with ``optimal=False``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .problem import Constraint, IlpProblem, IlpSolution
+
+__all__ = ["solve", "IlpError", "InfeasibleError"]
+
+
+class IlpError(Exception):
+    """Base class for solver errors."""
+
+
+class InfeasibleError(IlpError):
+    """The problem has no feasible assignment."""
+
+
+@dataclass
+class _SearchState:
+    assignment: dict[str, int]
+    cost: float
+
+
+def solve(
+    problem: IlpProblem,
+    *,
+    node_limit: int = 200_000,
+) -> IlpSolution:
+    """Solve a 0-1 ILP; raises :class:`InfeasibleError` if no solution exists."""
+    solver = _Solver(problem, node_limit=node_limit)
+    return solver.run()
+
+
+class _Solver:
+    def __init__(self, problem: IlpProblem, node_limit: int) -> None:
+        self.problem = problem
+        self.node_limit = node_limit
+        self.variables = list(problem.variables)
+        self.objective = {
+            var: problem.objective.get(var, 0.0) for var in self.variables
+        }
+        if not problem.minimize:
+            self.objective = {var: -coeff for var, coeff in self.objective.items()}
+        self.constraints = problem.constraints
+        self.var_constraints: dict[str, list[Constraint]] = {v: [] for v in self.variables}
+        for constraint in self.constraints:
+            for var, _ in constraint.coeffs:
+                self.var_constraints[var].append(constraint)
+        self.choice_groups = [
+            constraint
+            for constraint in self.constraints
+            if constraint.sense == "=="
+            and constraint.rhs == 1.0
+            and all(coeff == 1.0 for _, coeff in constraint.coeffs)
+        ]
+        self.best_cost = float("inf")
+        self.best_assignment: dict[str, int] | None = None
+        self.nodes = 0
+
+    # -- public ----------------------------------------------------------------
+
+    def run(self) -> IlpSolution:
+        assignment: dict[str, int] = {}
+        if not self._propagate(assignment):
+            raise InfeasibleError("propagation found the root infeasible")
+        self._search(assignment)
+        if self.best_assignment is None:
+            raise InfeasibleError("no feasible assignment exists")
+        values = {var: self.best_assignment.get(var, 0) for var in self.variables}
+        objective = self.problem.objective_value(values)
+        return IlpSolution(
+            values=values,
+            objective=objective,
+            optimal=self.nodes < self.node_limit,
+            nodes_explored=self.nodes,
+        )
+
+    # -- propagation -------------------------------------------------------------
+
+    def _constraint_bounds(
+        self, constraint: Constraint, assignment: dict[str, int]
+    ) -> tuple[float, float]:
+        lower = 0.0
+        upper = 0.0
+        for var, coeff in constraint.coeffs:
+            value = assignment.get(var)
+            if value is not None:
+                lower += coeff * value
+                upper += coeff * value
+            elif coeff >= 0:
+                upper += coeff
+            else:
+                lower += coeff
+        return lower, upper
+
+    def _constraint_consistent(
+        self, constraint: Constraint, assignment: dict[str, int]
+    ) -> bool:
+        lower, upper = self._constraint_bounds(constraint, assignment)
+        if constraint.sense == "==":
+            return lower - 1e-9 <= constraint.rhs <= upper + 1e-9
+        if constraint.sense == ">=":
+            return upper >= constraint.rhs - 1e-9
+        return lower <= constraint.rhs + 1e-9  # "<="
+
+    def _propagate(self, assignment: dict[str, int]) -> bool:
+        """Fix forced variables; return ``False`` on contradiction."""
+        queue = list(self.constraints)
+        while queue:
+            constraint = queue.pop()
+            if not self._constraint_consistent(constraint, assignment):
+                return False
+            for var, _ in constraint.coeffs:
+                if var in assignment:
+                    continue
+                forced = None
+                for candidate in (0, 1):
+                    assignment[var] = candidate
+                    ok = self._constraint_consistent(constraint, assignment)
+                    del assignment[var]
+                    if not ok:
+                        forced = 1 - candidate
+                        break
+                if forced is not None:
+                    assignment[var] = forced
+                    if not all(
+                        self._constraint_consistent(c, assignment)
+                        for c in self.var_constraints[var]
+                    ):
+                        return False
+                    queue.extend(self.var_constraints[var])
+        return True
+
+    # -- bounding -----------------------------------------------------------------
+
+    def _current_cost(self, assignment: dict[str, int]) -> float:
+        return sum(
+            self.objective[var] * value
+            for var, value in assignment.items()
+            if value and self.objective.get(var)
+        )
+
+    def _lower_bound(self, assignment: dict[str, int]) -> float:
+        bound = self._current_cost(assignment)
+        counted: set[str] = set()
+        for group in self.choice_groups:
+            members = [var for var, _ in group.coeffs]
+            if any(assignment.get(var) == 1 for var in members):
+                continue
+            candidates = [
+                self.objective.get(var, 0.0)
+                for var in members
+                if assignment.get(var) != 0 and var not in counted
+            ]
+            if not candidates:
+                continue
+            cheapest = min(candidates)
+            if cheapest > 0:
+                bound += cheapest
+                # Mark every member as counted so overlapping groups do not
+                # double-charge a shared variable.
+                counted.update(members)
+        return bound
+
+    # -- search -----------------------------------------------------------------
+
+    def _select_variable(self, assignment: dict[str, int]) -> str | None:
+        # Prefer a free variable from the tightest undecided choice group.
+        best_var: str | None = None
+        best_key: tuple[int, float] | None = None
+        for group in self.choice_groups:
+            members = [var for var, _ in group.coeffs]
+            if any(assignment.get(var) == 1 for var in members):
+                continue
+            free = [var for var in members if var not in assignment]
+            if not free:
+                continue
+            for var in free:
+                key = (len(free), self.objective.get(var, 0.0))
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_var = var
+        if best_var is not None:
+            return best_var
+        for var in self.variables:
+            if var not in assignment:
+                return var
+        return None
+
+    def _search(self, assignment: dict[str, int]) -> None:
+        self.nodes += 1
+        if self.nodes >= self.node_limit:
+            return
+        if self._lower_bound(assignment) >= self.best_cost:
+            return
+        variable = self._select_variable(assignment)
+        if variable is None:
+            cost = self._current_cost(assignment)
+            if cost < self.best_cost and self._complete_is_feasible(assignment):
+                self.best_cost = cost
+                self.best_assignment = dict(assignment)
+            return
+        # Try the cheaper value first (for minimisation with non-negative
+        # costs that is almost always 0, but selecting a repair variable to 1
+        # is what satisfies choice groups, so order by resulting bound).
+        order = (0, 1) if self.objective.get(variable, 0.0) > 0 else (1, 0)
+        for value in order:
+            trail = dict(assignment)
+            trail[variable] = value
+            if not all(
+                self._constraint_consistent(c, trail)
+                for c in self.var_constraints[variable]
+            ):
+                continue
+            if not self._propagate(trail):
+                continue
+            self._search(trail)
+
+    def _complete_is_feasible(self, assignment: dict[str, int]) -> bool:
+        values = {var: assignment.get(var, 0) for var in self.variables}
+        return self.problem.is_feasible(values)

@@ -1,0 +1,34 @@
+"""Interpreter over the program model: values, operations, evaluation, execution."""
+
+from .evaluator import evaluate, truthy
+from .executor import (
+    DEFAULT_MAX_STEPS,
+    ExecutionLimits,
+    execute,
+    printed_output,
+    result_matches,
+    returned_value,
+    run_on_inputs,
+)
+from .libfuncs import LIBRARY, lookup, register
+from .values import UNDEF, Undefined, freeze_value, is_undef, values_equal
+
+__all__ = [
+    "evaluate",
+    "truthy",
+    "execute",
+    "run_on_inputs",
+    "returned_value",
+    "printed_output",
+    "result_matches",
+    "ExecutionLimits",
+    "DEFAULT_MAX_STEPS",
+    "LIBRARY",
+    "lookup",
+    "register",
+    "UNDEF",
+    "Undefined",
+    "is_undef",
+    "values_equal",
+    "freeze_value",
+]

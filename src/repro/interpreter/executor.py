@@ -1,0 +1,105 @@
+"""Program execution producing traces (paper Def. 3.5).
+
+The executor walks locations from the initial one, performing the parallel
+assignment of each location and following the successor chosen by the value
+of the ``$cond`` variable.  Execution is bounded by a step limit so that
+non-terminating student attempts (a common class of mistakes) still yield a
+finite, comparable trace.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..model.expr import VAR_COND, VAR_OUT, VAR_RET, VAR_RETFLAG
+from ..model.program import Program
+from ..model.trace import Trace, TraceStep
+from .evaluator import evaluate, truthy
+from .values import UNDEF, freeze_value, is_undef, values_equal
+
+__all__ = ["execute", "run_on_inputs", "ExecutionLimits", "returned_value", "printed_output"]
+
+#: Default maximum number of location steps per execution.
+DEFAULT_MAX_STEPS = 5000
+
+
+class ExecutionLimits:
+    """Resource limits applied to a single execution."""
+
+    def __init__(self, max_steps: int = DEFAULT_MAX_STEPS) -> None:
+        self.max_steps = max_steps
+
+
+def _initial_memory(program: Program, inputs: Mapping[str, object]) -> dict[str, object]:
+    memory: dict[str, object] = {}
+    for var in program.variables:
+        memory[var] = UNDEF
+    memory[VAR_OUT] = ""
+    memory[VAR_RETFLAG] = False
+    memory[VAR_RET] = UNDEF
+    memory[VAR_COND] = UNDEF
+    for name, value in inputs.items():
+        memory[name] = freeze_value(value)
+    return memory
+
+
+def execute(
+    program: Program,
+    inputs: Mapping[str, object],
+    limits: ExecutionLimits | None = None,
+) -> Trace:
+    """Execute ``program`` on the input memory ``inputs`` and return a trace."""
+    limits = limits or ExecutionLimits()
+    memory = _initial_memory(program, inputs)
+    steps: list[TraceStep] = []
+    aborted = False
+
+    current = program.init_loc
+    while current is not None:
+        if len(steps) >= limits.max_steps:
+            aborted = True
+            break
+        location = program.locations[current]
+        pre = dict(memory)
+        post = dict(memory)
+        for var, expr in location.updates.items():
+            post[var] = freeze_value(evaluate(expr, pre))
+        steps.append(TraceStep(loc_id=current, pre=pre, post=post))
+        memory = post
+        if program.is_branching(current):
+            branch = truthy(post.get(VAR_COND, UNDEF))
+        else:
+            branch = True
+        current = program.successor(current, branch)
+
+    return Trace(steps, aborted=aborted)
+
+
+def run_on_inputs(
+    program: Program,
+    inputs: Iterable[Mapping[str, object]],
+    limits: ExecutionLimits | None = None,
+) -> list[Trace]:
+    """Execute ``program`` on every input memory and return all traces."""
+    return [execute(program, memory, limits) for memory in inputs]
+
+
+def returned_value(trace: Trace) -> object:
+    """Return the value of the ``$ret`` variable at the end of the trace."""
+    return trace.final_value(VAR_RET, UNDEF)
+
+
+def printed_output(trace: Trace) -> str:
+    """Return the accumulated ``$out`` output string (empty if none)."""
+    value = trace.final_value(VAR_OUT, "")
+    return value if isinstance(value, str) else ""
+
+
+def result_matches(actual: object, expected: object) -> bool:
+    """Compare an observed result against an expected one."""
+    return values_equal(actual, expected)
+
+
+def is_error(value: object) -> bool:
+    """Return ``True`` when a result is the undefined value."""
+    return is_undef(value)

@@ -1,0 +1,516 @@
+"""Library of operations understood by the interpreter.
+
+Each entry maps an operation name (as produced by the front-ends) to a plain
+Python function over already-evaluated argument values.  The registry is
+deliberately open: student programs may call operations that do not exist
+(``i.length()`` in the paper's Fig. 8) -- those evaluate to the undefined
+value rather than raising.
+
+All functions are pure: they never mutate their arguments.  List-producing
+operations always return fresh lists.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from .values import UNDEF, is_undef, values_equal
+
+__all__ = ["LIBRARY", "lookup", "register"]
+
+
+def _num(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _seq(value: object) -> bool:
+    return isinstance(value, (list, tuple, str))
+
+
+def _add(a: object, b: object) -> object:
+    if _num(a) and _num(b):
+        return a + b
+    if isinstance(a, bool) and isinstance(b, bool):
+        return int(a) + int(b)
+    if isinstance(a, str) and isinstance(b, str):
+        return a + b
+    if isinstance(a, list) and isinstance(b, list):
+        return list(a) + list(b)
+    if isinstance(a, tuple) and isinstance(b, tuple):
+        return tuple(a) + tuple(b)
+    if _num(a) and isinstance(b, bool):
+        return a + int(b)
+    if isinstance(a, bool) and _num(b):
+        return int(a) + b
+    return UNDEF
+
+
+def _sub(a: object, b: object) -> object:
+    if _num(a) and _num(b):
+        return a - b
+    return UNDEF
+
+
+def _mult(a: object, b: object) -> object:
+    if _num(a) and _num(b):
+        return a * b
+    if isinstance(a, (str, list, tuple)) and isinstance(b, int):
+        result = a * b
+        return list(result) if isinstance(a, list) else result
+    if isinstance(a, int) and isinstance(b, (str, list, tuple)):
+        result = b * a
+        return list(result) if isinstance(b, list) else result
+    return UNDEF
+
+
+def _div(a: object, b: object) -> object:
+    if _num(a) and _num(b):
+        if b == 0:
+            return UNDEF
+        return a / b
+    return UNDEF
+
+
+def _floordiv(a: object, b: object) -> object:
+    if _num(a) and _num(b):
+        if b == 0:
+            return UNDEF
+        return a // b
+    return UNDEF
+
+
+def _int_div(a: object, b: object) -> object:
+    """C-style integer division (truncation toward zero)."""
+    if _num(a) and _num(b):
+        if b == 0:
+            return UNDEF
+        if isinstance(a, int) and isinstance(b, int):
+            quotient = abs(a) // abs(b)
+            return quotient if (a >= 0) == (b >= 0) else -quotient
+        return a / b
+    return UNDEF
+
+
+def _mod(a: object, b: object) -> object:
+    if _num(a) and _num(b):
+        if b == 0:
+            return UNDEF
+        return a % b
+    if isinstance(a, str):
+        try:
+            return a % b if not isinstance(b, list) else a % tuple(b)
+        except (TypeError, ValueError):
+            return UNDEF
+    return UNDEF
+
+
+def _c_mod(a: object, b: object) -> object:
+    """C-style remainder (sign follows the dividend)."""
+    if isinstance(a, int) and isinstance(b, int) and not isinstance(a, bool):
+        if b == 0:
+            return UNDEF
+        remainder = abs(a) % abs(b)
+        return remainder if a >= 0 else -remainder
+    return _mod(a, b)
+
+
+def _pow(a: object, b: object) -> object:
+    if _num(a) and _num(b):
+        try:
+            result = a ** b
+        except (OverflowError, ZeroDivisionError):
+            return UNDEF
+        if isinstance(result, complex):
+            return UNDEF
+        return result
+    return UNDEF
+
+
+def _usub(a: object) -> object:
+    if _num(a):
+        return -a
+    return UNDEF
+
+
+def _uadd(a: object) -> object:
+    if _num(a):
+        return +a
+    return UNDEF
+
+
+def _compare(op: Callable[[object, object], bool]) -> Callable[[object, object], object]:
+    def compare(a: object, b: object) -> object:
+        try:
+            return bool(op(a, b))
+        except TypeError:
+            return UNDEF
+
+    return compare
+
+
+def _eq(a: object, b: object) -> object:
+    return values_equal(a, b)
+
+
+def _noteq(a: object, b: object) -> object:
+    return not values_equal(a, b)
+
+
+def _not(a: object) -> object:
+    if is_undef(a):
+        return UNDEF
+    return not _truthy(a)
+
+
+def _truthy(value: object) -> bool:
+    if is_undef(value):
+        return False
+    return bool(value)
+
+
+def _len(a: object) -> object:
+    if _seq(a):
+        return len(a)
+    return UNDEF
+
+
+def _range(*args: object) -> object:
+    if not all(isinstance(a, int) and not isinstance(a, bool) for a in args):
+        return UNDEF
+    if len(args) == 1:
+        return list(range(args[0]))
+    if len(args) == 2:
+        return list(range(args[0], args[1]))
+    if len(args) == 3:
+        if args[2] == 0:
+            return UNDEF
+        return list(range(args[0], args[1], args[2]))
+    return UNDEF
+
+
+def _list_head(a: object) -> object:
+    if isinstance(a, (list, tuple, str)) and len(a) > 0:
+        return a[0]
+    return UNDEF
+
+
+def _list_tail(a: object) -> object:
+    if isinstance(a, (list, tuple, str)) and len(a) > 0:
+        tail = a[1:]
+        return list(tail) if isinstance(a, list) else tail
+    if isinstance(a, (list, tuple, str)):
+        return [] if isinstance(a, list) else a[:0]
+    return UNDEF
+
+
+def _append(a: object, b: object) -> object:
+    if isinstance(a, list):
+        return list(a) + [b]
+    return UNDEF
+
+
+def _get_element(a: object, b: object) -> object:
+    if isinstance(a, (list, tuple, str)) and isinstance(b, int) and not isinstance(b, bool):
+        try:
+            return a[b]
+        except IndexError:
+            return UNDEF
+    if isinstance(a, dict):
+        try:
+            return a[b]
+        except (KeyError, TypeError):
+            return UNDEF
+    return UNDEF
+
+
+def _assign_element(a: object, index: object, value: object) -> object:
+    """Functional list update ``a[index] = value`` (returns a new list)."""
+    if isinstance(a, list) and isinstance(index, int) and not isinstance(index, bool):
+        if -len(a) <= index < len(a):
+            out = list(a)
+            out[index] = value
+            return out
+        return UNDEF
+    return UNDEF
+
+
+def _slice(a: object, lo: object, hi: object) -> object:
+    if not isinstance(a, (list, tuple, str)):
+        return UNDEF
+    low = None if lo is None or is_undef(lo) else lo
+    high = None if hi is None or is_undef(hi) else hi
+    if low is not None and not isinstance(low, int):
+        return UNDEF
+    if high is not None and not isinstance(high, int):
+        return UNDEF
+    result = a[low:high]
+    return list(result) if isinstance(a, list) else result
+
+
+def _list_init(*args: object) -> object:
+    return list(args)
+
+
+def _tuple_init(*args: object) -> object:
+    return tuple(args)
+
+
+def _float(a: object) -> object:
+    if _num(a) or isinstance(a, bool):
+        return float(a)
+    if isinstance(a, str):
+        try:
+            return float(a)
+        except ValueError:
+            return UNDEF
+    return UNDEF
+
+
+def _int(a: object) -> object:
+    if _num(a) or isinstance(a, bool):
+        return int(a)
+    if isinstance(a, str):
+        try:
+            return int(a)
+        except ValueError:
+            return UNDEF
+    return UNDEF
+
+
+def _str(a: object) -> object:
+    if is_undef(a):
+        return UNDEF
+    if isinstance(a, float) and a == int(a):
+        return str(a)
+    return str(a)
+
+
+def _bool(a: object) -> object:
+    if is_undef(a):
+        return UNDEF
+    return bool(a)
+
+
+def _abs(a: object) -> object:
+    if _num(a):
+        return abs(a)
+    return UNDEF
+
+
+def _round(a: object, *rest: object) -> object:
+    if not _num(a):
+        return UNDEF
+    if rest and isinstance(rest[0], int):
+        return round(a, rest[0])
+    return round(a)
+
+
+def _max(*args: object) -> object:
+    values = args[0] if len(args) == 1 and isinstance(args[0], (list, tuple)) else args
+    try:
+        return max(values)
+    except (ValueError, TypeError):
+        return UNDEF
+
+
+def _min(*args: object) -> object:
+    values = args[0] if len(args) == 1 and isinstance(args[0], (list, tuple)) else args
+    try:
+        return min(values)
+    except (ValueError, TypeError):
+        return UNDEF
+
+
+def _sum(a: object) -> object:
+    if isinstance(a, (list, tuple)) and all(_num(v) or isinstance(v, bool) for v in a):
+        return sum(a)
+    return UNDEF
+
+
+def _sorted(a: object) -> object:
+    if isinstance(a, (list, tuple)):
+        try:
+            return sorted(a)
+        except TypeError:
+            return UNDEF
+    return UNDEF
+
+
+def _reversed(a: object) -> object:
+    if isinstance(a, (list, tuple, str)):
+        result = a[::-1]
+        return list(result) if isinstance(a, list) else result
+    return UNDEF
+
+
+def _str_concat(*args: object) -> object:
+    parts = []
+    for arg in args:
+        if is_undef(arg):
+            return UNDEF
+        parts.append(arg if isinstance(arg, str) else _format_value(arg))
+    return "".join(parts)
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "True" if value else "False"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _str_format(fmt: object, *args: object) -> object:
+    """C ``printf``-style formatting restricted to %d, %f, %c, %s, %%."""
+    if not isinstance(fmt, str):
+        return UNDEF
+    out: list[str] = []
+    arg_index = 0
+    i = 0
+    while i < len(fmt):
+        ch = fmt[i]
+        if ch != "%":
+            out.append(ch)
+            i += 1
+            continue
+        if i + 1 >= len(fmt):
+            return UNDEF
+        spec = fmt[i + 1]
+        i += 2
+        if spec == "%":
+            out.append("%")
+            continue
+        # Skip width/precision modifiers, e.g. %2d, %.2f, %0.3lf.
+        modifiers = ""
+        while spec in "0123456789.l":
+            modifiers += spec
+            if i >= len(fmt):
+                return UNDEF
+            spec = fmt[i]
+            i += 1
+        if arg_index >= len(args):
+            return UNDEF
+        value = args[arg_index]
+        arg_index += 1
+        if is_undef(value):
+            return UNDEF
+        try:
+            if spec == "d":
+                out.append(("%" + modifiers + "d") % int(value))
+            elif spec == "f":
+                out.append(("%" + (modifiers or ".6") + "f") % float(value))
+            elif spec == "c":
+                if isinstance(value, int):
+                    out.append(chr(value))
+                else:
+                    out.append(str(value)[:1])
+            elif spec == "s":
+                out.append(str(value))
+            else:
+                return UNDEF
+        except (TypeError, ValueError):
+            return UNDEF
+    return "".join(out)
+
+
+def _xrange(*args: object) -> object:
+    return _range(*args)
+
+
+def _enumerate(a: object, *start: object) -> object:
+    if not isinstance(a, (list, tuple, str)):
+        return UNDEF
+    offset = start[0] if start and isinstance(start[0], int) else 0
+    return [(offset + i, v) for i, v in enumerate(a)]
+
+
+def _zip(a: object, b: object) -> object:
+    if isinstance(a, (list, tuple, str)) and isinstance(b, (list, tuple, str)):
+        return [(x, y) for x, y in zip(a, b)]
+    return UNDEF
+
+
+def _in(a: object, b: object) -> object:
+    if isinstance(b, (list, tuple)):
+        return any(values_equal(a, item) for item in b)
+    if isinstance(b, str) and isinstance(a, str):
+        return a in b
+    return UNDEF
+
+
+def _not_in(a: object, b: object) -> object:
+    result = _in(a, b)
+    if is_undef(result):
+        return UNDEF
+    return not result
+
+
+def _pow2(a: object, b: object) -> object:
+    return _pow(a, b)
+
+
+#: Name -> implementation.  Front-ends emit these names; anything absent from
+#: the registry evaluates to ``UNDEF``.
+LIBRARY: dict[str, Callable[..., object]] = {
+    "Add": _add,
+    "Sub": _sub,
+    "Mult": _mult,
+    "Div": _div,
+    "IntDiv": _int_div,
+    "FloorDiv": _floordiv,
+    "Mod": _mod,
+    "CMod": _c_mod,
+    "Pow": _pow,
+    "USub": _usub,
+    "UAdd": _uadd,
+    "Eq": _eq,
+    "NotEq": _noteq,
+    "Lt": _compare(lambda a, b: a < b),
+    "LtE": _compare(lambda a, b: a <= b),
+    "Gt": _compare(lambda a, b: a > b),
+    "GtE": _compare(lambda a, b: a >= b),
+    "Not": _not,
+    "In": _in,
+    "NotIn": _not_in,
+    "len": _len,
+    "range": _range,
+    "xrange": _xrange,
+    "ListHead": _list_head,
+    "ListTail": _list_tail,
+    "append": _append,
+    "GetElement": _get_element,
+    "AssignElement": _assign_element,
+    "Slice": _slice,
+    "ListInit": _list_init,
+    "TupleInit": _tuple_init,
+    "float": _float,
+    "int": _int,
+    "str": _str,
+    "bool": _bool,
+    "abs": _abs,
+    "round": _round,
+    "max": _max,
+    "min": _min,
+    "sum": _sum,
+    "sorted": _sorted,
+    "reversed": _reversed,
+    "StrConcat": _str_concat,
+    "StrFormat": _str_format,
+    "enumerate": _enumerate,
+    "zip": _zip,
+    "pow": _pow2,
+}
+
+
+def lookup(name: str) -> Callable[..., object] | None:
+    """Return the implementation of ``name`` or ``None`` if unknown."""
+    return LIBRARY.get(name)
+
+
+def register(name: str, fn: Callable[..., object]) -> None:
+    """Register (or override) an operation implementation.
+
+    Exposed for tests and for problem specifications that need an extra
+    helper available to student code.
+    """
+    LIBRARY[name] = fn

@@ -1,0 +1,47 @@
+"""Program model: expressions, programs, traces and the simplifier."""
+
+from .expr import (
+    Const,
+    Expr,
+    Op,
+    SPECIAL_VARS,
+    VAR_COND,
+    VAR_OUT,
+    VAR_RET,
+    VAR_RETFLAG,
+    VAR_STDIN,
+    Var,
+    conjunction,
+    is_iterator_var,
+    is_special_var,
+    negation,
+    render_expression,
+)
+from .program import END, Location, Program
+from .simplify import simplify
+from .trace import Trace, TraceStep, project
+
+__all__ = [
+    "Const",
+    "Expr",
+    "Op",
+    "Var",
+    "SPECIAL_VARS",
+    "VAR_COND",
+    "VAR_OUT",
+    "VAR_RET",
+    "VAR_RETFLAG",
+    "VAR_STDIN",
+    "conjunction",
+    "negation",
+    "is_special_var",
+    "is_iterator_var",
+    "render_expression",
+    "simplify",
+    "END",
+    "Location",
+    "Program",
+    "Trace",
+    "TraceStep",
+    "project",
+]

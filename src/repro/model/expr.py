@@ -1,0 +1,391 @@
+"""Expression trees for the Clara program model.
+
+The paper (Def. 3.1) builds expressions from variables, constants and
+operations.  We mirror that with three immutable node types:
+
+* :class:`Var` -- a reference to a program variable.
+* :class:`Const` -- a literal value (int, float, bool, str, ``None`` or an
+  empty list/tuple).
+* :class:`Op` -- an operation applied to argument expressions.  Operation
+  names are plain strings; the interpreter (:mod:`repro.interpreter`) gives
+  them meaning.  Unknown operations evaluate to the undefined value, which
+  lets us model student code that calls functions that do not exist.
+
+Expressions are hashable and comparable structurally, which the clustering
+and repair algorithms rely on (expression pools are de-duplicated by
+structural equality).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Mapping, Sequence
+
+__all__ = [
+    "Expr",
+    "Var",
+    "Const",
+    "Op",
+    "VAR_COND",
+    "VAR_RET",
+    "VAR_RETFLAG",
+    "VAR_OUT",
+    "VAR_STDIN",
+    "SPECIAL_VARS",
+    "is_special_var",
+    "is_iterator_var",
+]
+
+#: Special variable modelling the branch/loop condition (the paper's ``?``).
+VAR_COND = "$cond"
+#: Special variable modelling the return value (the paper's ``return``).
+VAR_RET = "$ret"
+#: Synthetic flag recording whether the function has returned (early returns).
+VAR_RETFLAG = "$retflag"
+#: Special variable accumulating printed output (used by the C problems).
+VAR_OUT = "$out"
+#: Special variable modelling the standard-input stream (list of values).
+VAR_STDIN = "$stdin"
+
+#: Variables that carry observable behaviour and must never be pruned.
+SPECIAL_VARS = frozenset({VAR_COND, VAR_RET, VAR_OUT, VAR_STDIN})
+
+
+def is_special_var(name: str) -> bool:
+    """Return ``True`` for the model's reserved variables (``$``-prefixed)."""
+    return name.startswith("$")
+
+
+def is_iterator_var(name: str) -> bool:
+    """Return ``True`` for synthetic for-loop iterator variables."""
+    return name.startswith("$iter")
+
+
+class Expr:
+    """Base class of all expression nodes.
+
+    Subclasses are immutable; all traversals below are allocation-free where
+    possible because matching and repair evaluate and rewrite expressions in
+    tight loops.
+    """
+
+    __slots__ = ()
+
+    # -- structural helpers ------------------------------------------------
+
+    def variables(self) -> set[str]:
+        """Return the set of variable names occurring in the expression."""
+        out: set[str] = set()
+        self._collect_variables(out)
+        return out
+
+    def _collect_variables(self, out: set[str]) -> None:
+        raise NotImplementedError
+
+    def size(self) -> int:
+        """Return the number of AST nodes (used by costs and metrics)."""
+        raise NotImplementedError
+
+    def children(self) -> tuple["Expr", ...]:
+        """Return the direct sub-expressions (empty for leaves)."""
+        return ()
+
+    def walk(self) -> Iterator["Expr"]:
+        """Yield the node and all descendants in pre-order."""
+        stack: list[Expr] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children()))
+
+    # -- rewriting ----------------------------------------------------------
+
+    def substitute_vars(self, mapping: Mapping[str, "Expr"]) -> "Expr":
+        """Return a copy where each variable ``v`` is replaced by ``mapping[v]``.
+
+        Variables not present in ``mapping`` are left untouched.
+        """
+        raise NotImplementedError
+
+    def rename_vars(self, mapping: Mapping[str, str]) -> "Expr":
+        """Return a copy where variable names are renamed via ``mapping``."""
+        return self.substitute_vars(
+            {old: Var(new) for old, new in mapping.items()}
+        )
+
+    def replace_at(self, path: tuple[int, ...], replacement: "Expr") -> "Expr":
+        """Return a copy with the node at ``path`` replaced.
+
+        A path is a tuple of child indices from the root; the empty path is
+        the node itself.  Used by the AutoGrader baseline's rewrite rules.
+        """
+        if not path:
+            return replacement
+        raise IndexError(f"path {path!r} does not exist in {self!r}")
+
+    def node_at(self, path: tuple[int, ...]) -> "Expr":
+        """Return the node at ``path`` (see :meth:`replace_at`)."""
+        if not path:
+            return self
+        raise IndexError(f"path {path!r} does not exist in {self!r}")
+
+    def paths(self) -> Iterator[tuple[tuple[int, ...], "Expr"]]:
+        """Yield ``(path, node)`` pairs for every node in the tree."""
+        yield (), self
+        for index, child in enumerate(self.children()):
+            for sub_path, node in child.paths():
+                yield (index, *sub_path), node
+
+    # -- misc ---------------------------------------------------------------
+
+    def map(self, fn: Callable[["Expr"], "Expr"]) -> "Expr":
+        """Rebuild the tree bottom-up, applying ``fn`` to every node."""
+        return fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}({self})"
+
+
+class Var(Expr):
+    """A reference to a program variable."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def _collect_variables(self, out: set[str]) -> None:
+        out.add(self.name)
+
+    def size(self) -> int:
+        return 1
+
+    def substitute_vars(self, mapping: Mapping[str, Expr]) -> Expr:
+        return mapping.get(self.name, self)
+
+    def map(self, fn: Callable[[Expr], Expr]) -> Expr:
+        return fn(self)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Var) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Var", self.name))
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Const(Expr):
+    """A literal constant.
+
+    ``value`` may be an ``int``, ``float``, ``bool``, ``str``, ``None`` or a
+    (possibly empty) ``tuple``/``list`` of such values.  Lists are stored as
+    given; the interpreter never mutates values in place.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object) -> None:
+        self.value = value
+
+    def _collect_variables(self, out: set[str]) -> None:  # no variables
+        return None
+
+    def size(self) -> int:
+        return 1
+
+    def substitute_vars(self, mapping: Mapping[str, Expr]) -> Expr:
+        return self
+
+    def map(self, fn: Callable[[Expr], Expr]) -> Expr:
+        return fn(self)
+
+    def _key(self) -> tuple[str, object]:
+        value = self.value
+        if isinstance(value, list):
+            value = ("__list__", tuple(value))
+        return (type(value).__name__, value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Const) and other._key() == self._key()
+
+    def __hash__(self) -> int:
+        return hash(("Const", self._key()))
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return repr(self.value)
+        if isinstance(self.value, list):
+            return "[" + ", ".join(repr(v) for v in self.value) + "]"
+        return repr(self.value)
+
+
+class Op(Expr):
+    """An operation applied to argument expressions."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, *args: Expr) -> None:
+        self.name = name
+        self.args = tuple(args)
+
+    def _collect_variables(self, out: set[str]) -> None:
+        for arg in self.args:
+            arg._collect_variables(out)
+
+    def size(self) -> int:
+        return 1 + sum(arg.size() for arg in self.args)
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.args
+
+    def substitute_vars(self, mapping: Mapping[str, Expr]) -> Expr:
+        new_args = tuple(arg.substitute_vars(mapping) for arg in self.args)
+        if new_args == self.args:
+            return self
+        return Op(self.name, *new_args)
+
+    def replace_at(self, path: tuple[int, ...], replacement: Expr) -> Expr:
+        if not path:
+            return replacement
+        index, *rest = path
+        if index >= len(self.args):
+            raise IndexError(f"path {path!r} does not exist in {self!r}")
+        new_args = list(self.args)
+        new_args[index] = self.args[index].replace_at(tuple(rest), replacement)
+        return Op(self.name, *new_args)
+
+    def node_at(self, path: tuple[int, ...]) -> Expr:
+        if not path:
+            return self
+        index, *rest = path
+        if index >= len(self.args):
+            raise IndexError(f"path {path!r} does not exist in {self!r}")
+        return self.args[index].node_at(tuple(rest))
+
+    def map(self, fn: Callable[[Expr], Expr]) -> Expr:
+        new_args = tuple(arg.map(fn) for arg in self.args)
+        node = self if new_args == self.args else Op(self.name, *new_args)
+        return fn(node)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Op)
+            and other.name == self.name
+            and other.args == self.args
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Op", self.name, self.args))
+
+    def __str__(self) -> str:
+        return render_expression(self)
+
+
+# ---------------------------------------------------------------------------
+# Pretty printing
+# ---------------------------------------------------------------------------
+
+_BINARY_SYMBOLS = {
+    "Add": "+",
+    "Sub": "-",
+    "Mult": "*",
+    "Div": "/",
+    "FloorDiv": "//",
+    "Mod": "%",
+    "Pow": "**",
+    "Eq": "==",
+    "NotEq": "!=",
+    "Lt": "<",
+    "LtE": "<=",
+    "Gt": ">",
+    "GtE": ">=",
+    "And": "and",
+    "Or": "or",
+    "In": "in",
+    "NotIn": "not in",
+}
+
+_UNARY_SYMBOLS = {
+    "USub": "-",
+    "UAdd": "+",
+    "Not": "not ",
+}
+
+
+def render_expression(expr: Expr) -> str:
+    """Render an expression as readable, Python-like source text.
+
+    The output is used in feedback messages shown to students, so it aims to
+    look like the code they wrote rather than like an internal dump.
+    """
+    if isinstance(expr, (Var, Const)):
+        return str(expr)
+    if not isinstance(expr, Op):  # pragma: no cover - defensive
+        return repr(expr)
+    name = expr.name
+    args = expr.args
+    if name in _BINARY_SYMBOLS and len(args) == 2:
+        left = _render_child(args[0])
+        right = _render_child(args[1])
+        return f"{left} {_BINARY_SYMBOLS[name]} {right}"
+    if name in _UNARY_SYMBOLS and len(args) == 1:
+        return f"{_UNARY_SYMBOLS[name]}{_render_child(args[0])}"
+    if name == "ite" and len(args) == 3:
+        return (
+            f"({render_expression(args[1])} if {render_expression(args[0])}"
+            f" else {render_expression(args[2])})"
+        )
+    if name == "GetElement" and len(args) == 2:
+        return f"{_render_child(args[0])}[{render_expression(args[1])}]"
+    if name == "ListInit":
+        return "[" + ", ".join(render_expression(a) for a in args) + "]"
+    if name == "TupleInit":
+        rendered = ", ".join(render_expression(a) for a in args)
+        if len(args) == 1:
+            rendered += ","
+        return "(" + rendered + ")"
+    if name == "Slice" and len(args) == 3:
+        return (
+            f"{_render_child(args[0])}[{render_expression(args[1])}:"
+            f"{render_expression(args[2])}]"
+        )
+    rendered_args = ", ".join(render_expression(a) for a in args)
+    return f"{name}({rendered_args})"
+
+
+def _render_child(expr: Expr) -> str:
+    text = render_expression(expr)
+    if isinstance(expr, Op) and (
+        expr.name in _BINARY_SYMBOLS or expr.name in ("ite",)
+    ):
+        return f"({text})"
+    return text
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors used across the code base
+# ---------------------------------------------------------------------------
+
+TRUE = Const(True)
+FALSE = Const(False)
+
+
+def conjunction(terms: Sequence[Expr]) -> Expr:
+    """Build ``And`` of ``terms``, folding trivial cases."""
+    significant = [t for t in terms if t != TRUE]
+    if not significant:
+        return TRUE
+    result = significant[0]
+    for term in significant[1:]:
+        result = Op("And", result, term)
+    return result
+
+
+def negation(term: Expr) -> Expr:
+    """Build ``Not(term)`` folding double negation and constants."""
+    if isinstance(term, Const) and isinstance(term.value, bool):
+        return Const(not term.value)
+    if isinstance(term, Op) and term.name == "Not" and len(term.args) == 1:
+        return term.args[0]
+    return Op("Not", term)

@@ -1,0 +1,133 @@
+"""Expression canonicalisation.
+
+The front-ends generate guard-heavy expressions (every early return, break or
+continue turns into an ``ite`` over a synthetic flag).  This module folds the
+statically decidable parts away so that common student programs yield the
+clean expressions the paper shows, e.g.::
+
+    ite(Not(ite(c, True, False)), new, ite(c, [0.0], $ret))
+        ==>  ite(c, [0.0], new)
+
+Simplification is purely syntactic and semantics-preserving; matching never
+depends on it (matching is dynamic), but smaller expressions give smaller and
+more natural repair costs and nicer feedback text.
+"""
+
+from __future__ import annotations
+
+from .expr import Const, Expr, Op, Var
+
+__all__ = ["simplify"]
+
+
+def simplify(expr: Expr) -> Expr:
+    """Return a semantically equivalent, usually smaller expression."""
+    return expr.map(_simplify_node)
+
+
+def _is_const_bool(expr: Expr, value: bool) -> bool:
+    return isinstance(expr, Const) and expr.value is value
+
+
+#: Operations guaranteed to evaluate to a bool (or ⊥).
+_BOOLEAN_OPS = frozenset(
+    {"Eq", "NotEq", "Lt", "LtE", "Gt", "GtE", "Not", "In", "NotIn", "bool"}
+)
+
+
+def _is_boolean(expr: Expr) -> bool:
+    """Conservatively decide whether ``expr`` always evaluates to a bool.
+
+    Python's ``and``/``or`` return one of their operands, so folds like
+    ``And(x, True) -> x`` are only value-preserving when ``x`` itself is
+    boolean; this predicate guards those rules.
+    """
+    if isinstance(expr, Const):
+        return isinstance(expr.value, bool)
+    if isinstance(expr, Op):
+        if expr.name in _BOOLEAN_OPS:
+            return True
+        if expr.name in ("And", "Or") and len(expr.args) == 2:
+            return all(_is_boolean(arg) for arg in expr.args)
+        if expr.name == "ite" and len(expr.args) == 3:
+            return _is_boolean(expr.args[1]) and _is_boolean(expr.args[2])
+    return False
+
+
+def _simplify_node(expr: Expr) -> Expr:
+    if not isinstance(expr, Op):
+        return expr
+    name = expr.name
+    args = expr.args
+
+    if name == "Not" and len(args) == 1:
+        (arg,) = args
+        if _is_const_bool(arg, True):
+            return Const(False)
+        if _is_const_bool(arg, False):
+            return Const(True)
+        if (
+            isinstance(arg, Op)
+            and arg.name == "Not"
+            and len(arg.args) == 1
+            and _is_boolean(arg.args[0])
+        ):
+            return arg.args[0]
+        # Not(ite(c, True, False)) -> Not(c); Not(ite(c, False, True)) -> c
+        if isinstance(arg, Op) and arg.name == "ite" and len(arg.args) == 3:
+            cond, then, other = arg.args
+            if _is_const_bool(then, True) and _is_const_bool(other, False):
+                return _simplify_node(Op("Not", cond))
+            if _is_const_bool(then, False) and _is_const_bool(other, True) and _is_boolean(cond):
+                return cond
+        return expr
+
+    if name == "And" and len(args) == 2:
+        left, right = args
+        if _is_const_bool(left, True):
+            return right
+        if _is_const_bool(right, True) and _is_boolean(left):
+            return left
+        if _is_const_bool(left, False):
+            return Const(False)
+        if _is_const_bool(right, False) and _is_boolean(left):
+            return Const(False)
+        return expr
+
+    if name == "Or" and len(args) == 2:
+        left, right = args
+        if _is_const_bool(left, False):
+            return right
+        if _is_const_bool(right, False) and _is_boolean(left):
+            return left
+        if _is_const_bool(left, True):
+            return Const(True)
+        if _is_const_bool(right, True) and _is_boolean(left):
+            return Const(True)
+        return expr
+
+    if name == "ite" and len(args) == 3:
+        cond, then, other = args
+        if _is_const_bool(cond, True):
+            return then
+        if _is_const_bool(cond, False):
+            return other
+        # ite(c, x, x) -> x
+        if then == other:
+            return then
+        # ite(c, True, False) used as a boolean -> c (keep; callers like Not
+        # handle it).  But fold nested ites guarded by the same condition:
+        # ite(c, ite(c, a, b), d) -> ite(c, a, d)
+        if isinstance(then, Op) and then.name == "ite" and len(then.args) == 3:
+            if then.args[0] == cond:
+                return _simplify_node(Op("ite", cond, then.args[1], other))
+        # ite(c, a, ite(c, b, d)) -> ite(c, a, d)
+        if isinstance(other, Op) and other.name == "ite" and len(other.args) == 3:
+            if other.args[0] == cond:
+                return _simplify_node(Op("ite", cond, then, other.args[2]))
+        # ite(Not(c), a, b) -> ite(c, b, a) (canonical polarity)
+        if isinstance(cond, Op) and cond.name == "Not" and len(cond.args) == 1:
+            return _simplify_node(Op("ite", cond.args[0], other, then))
+        return expr
+
+    return expr

@@ -1,0 +1,73 @@
+"""Execution traces (paper Def. 3.5).
+
+A trace is a sequence of :class:`TraceStep` objects, one per visited
+location.  Each step records the *pre*-state (the paper's unprimed variables
+``v``) and the *post*-state (primed variables ``v'``).  Matching compares the
+post-state projections of variables; expression matching re-evaluates
+candidate expressions on the pre-states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+__all__ = ["TraceStep", "Trace", "project"]
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One trace element ``(ℓ, σ)``.
+
+    Attributes:
+        loc_id: The visited location.
+        pre: Variable values before the location executes (``σ(v)``).
+        post: Variable values after the location executes (``σ(v')``).
+    """
+
+    loc_id: int
+    pre: Mapping[str, object]
+    post: Mapping[str, object]
+
+
+class Trace:
+    """A finite program trace together with its final memory."""
+
+    def __init__(self, steps: Iterable[TraceStep], *, aborted: bool = False) -> None:
+        self.steps: list[TraceStep] = list(steps)
+        #: ``True`` when execution hit the step limit (e.g. infinite loop) or
+        #: encountered a state from which no successor could be chosen.
+        self.aborted = aborted
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self) -> Iterator[TraceStep]:
+        return iter(self.steps)
+
+    def __getitem__(self, index: int) -> TraceStep:
+        return self.steps[index]
+
+    @property
+    def location_sequence(self) -> tuple[int, ...]:
+        """The control-flow path taken, as a tuple of location ids."""
+        return tuple(step.loc_id for step in self.steps)
+
+    def final_memory(self) -> Mapping[str, object]:
+        """Return the post-state of the final step (empty if no steps)."""
+        if not self.steps:
+            return {}
+        return self.steps[-1].post
+
+    def final_value(self, var: str, default: object = None) -> object:
+        """Return the final value of ``var`` (``default`` if never defined)."""
+        return self.final_memory().get(var, default)
+
+    def steps_at(self, loc_id: int) -> list[TraceStep]:
+        """Return all steps taken at a given location."""
+        return [step for step in self.steps if step.loc_id == loc_id]
+
+
+def project(trace: Trace, var: str) -> tuple[object, ...]:
+    """Project the post-state values of ``var`` from a trace (``γ|v``)."""
+    return tuple(step.post.get(var) for step in trace.steps)

@@ -1,0 +1,13 @@
+"""Tree edit distance substrate (Zhang–Shasha)."""
+
+from .tree import TreeNode, expr_to_tree, postorder, tree_size
+from .zhang_shasha import expr_edit_distance, tree_edit_distance
+
+__all__ = [
+    "TreeNode",
+    "expr_to_tree",
+    "postorder",
+    "tree_size",
+    "tree_edit_distance",
+    "expr_edit_distance",
+]

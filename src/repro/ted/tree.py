@@ -1,0 +1,60 @@
+"""Ordered labelled trees used by the tree-edit-distance algorithm.
+
+Model expressions are converted into :class:`TreeNode` objects whose labels
+are the operation name, the variable name, or the constant value.  The
+Zhang–Shasha algorithm (see :mod:`repro.ted.zhang_shasha`) works on the
+post-order numbering computed by :func:`postorder_index`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..model.expr import Const, Expr, Op, Var
+
+__all__ = ["TreeNode", "expr_to_tree", "tree_size", "postorder"]
+
+
+@dataclass
+class TreeNode:
+    """A node of an ordered labelled tree."""
+
+    label: str
+    children: list["TreeNode"] = field(default_factory=list)
+
+    def add(self, child: "TreeNode") -> "TreeNode":
+        self.children.append(child)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        if not self.children:
+            return self.label
+        inner = ", ".join(repr(c) for c in self.children)
+        return f"{self.label}({inner})"
+
+
+def expr_to_tree(expr: Expr) -> TreeNode:
+    """Convert a model expression into a labelled tree."""
+    if isinstance(expr, Var):
+        return TreeNode(f"var:{expr.name}")
+    if isinstance(expr, Const):
+        return TreeNode(f"const:{expr.value!r}")
+    if isinstance(expr, Op):
+        node = TreeNode(f"op:{expr.name}")
+        for arg in expr.args:
+            node.add(expr_to_tree(arg))
+        return node
+    raise TypeError(f"not an expression: {expr!r}")  # pragma: no cover
+
+
+def tree_size(node: TreeNode) -> int:
+    """Number of nodes in the tree."""
+    return 1 + sum(tree_size(child) for child in node.children)
+
+
+def postorder(node: TreeNode) -> Iterator[TreeNode]:
+    """Yield nodes in post-order (children before parents)."""
+    for child in node.children:
+        yield from postorder(child)
+    yield node

@@ -1,0 +1,78 @@
+"""Shared test fixtures.
+
+The ``src`` directory is added to ``sys.path`` so the suite also runs in
+environments where the editable install is not available (the offline CI
+image lacks the ``wheel`` package needed by PEP 517 editable installs).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.inputs import InputCase  # noqa: E402
+
+
+# The paper's running example (Fig. 2): correct solutions C1/C2 and incorrect
+# attempts I1/I2 of the ``derivatives`` assignment.
+
+C1 = """
+def computeDeriv(poly):
+    result = []
+    for e in range(1, len(poly)):
+        result.append(float(poly[e]*e))
+    if result == []:
+        return [0.0]
+    else:
+        return result
+"""
+
+C2 = """
+def computeDeriv(poly):
+    deriv = []
+    for i in range(1, len(poly)):
+        deriv += [float(i)*poly[i]]
+    if len(deriv) == 0:
+        return [0.0]
+    return deriv
+"""
+
+I1 = """
+def computeDeriv(poly):
+    new = []
+    for i in range(1, len(poly)):
+        new.append(float(i*poly[i]))
+    if new == []:
+        return 0.0
+    return new
+"""
+
+I2 = """
+def computeDeriv(poly):
+    result = []
+    for i in range(len(poly)):
+        result[i] = float(i*poly[i])
+    return result
+"""
+
+
+def _derivative(poly):
+    out = [float(i * poly[i]) for i in range(1, len(poly))]
+    return out if out else [0.0]
+
+
+@pytest.fixture(scope="session")
+def deriv_cases():
+    inputs = [[6.3, 7.6, 12.14], [], [1.0], [1.0, 2.0, 3.0, 4.0], [0.0, 5.0]]
+    return [
+        InputCase(args=(list(p),), expected_return=_derivative(p)) for p in inputs
+    ]
+
+
+@pytest.fixture(scope="session")
+def paper_sources():
+    return {"C1": C1, "C2": C2, "I1": I1, "I2": I2}

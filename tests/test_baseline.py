@@ -1,0 +1,80 @@
+"""Tests for the AutoGrader-style baseline."""
+
+from __future__ import annotations
+
+from repro.baseline import AutoGrader, applicable_rewrites, default_error_model
+from repro.core.inputs import is_correct
+from repro.frontend import parse_python_source
+from repro.model.expr import Const, Op, Var
+
+
+def test_error_model_rules_present():
+    rules = default_error_model()
+    names = {rule.name for rule in rules}
+    assert {"integer-constants", "comparison-operators", "range-bounds"} <= names
+
+
+def test_applicable_rewrites_enumerates_sites():
+    expr = Op("range", Op("len", Var("poly")))
+    rewrites = applicable_rewrites(expr, default_error_model(), ["poly", "result"])
+    replacements = {str(replacement) for _path, replacement, _rule in rewrites}
+    assert "range(1, len(poly))" in replacements  # the fix AutoGrader can express
+    assert any(rule == "variable-substitution" for _p, _r, rule in rewrites)
+
+
+def test_constant_rule_offers_off_by_one():
+    rewrites = applicable_rewrites(Const(5), default_error_model(), [])
+    values = {
+        r.value
+        for _p, r, _n in rewrites
+        if isinstance(r, Const) and isinstance(r.value, int)
+    }
+    assert {4, 6, 0, 1} <= values
+
+
+def test_autograder_repairs_off_by_one_range(paper_sources, deriv_cases):
+    grader = AutoGrader(cases=deriv_cases)
+    broken = paper_sources["C1"].replace("range(1, len(poly))", "range(2, len(poly))")
+    program = parse_python_source(broken)
+    assert not is_correct(program, deriv_cases)
+    repair = grader.repair(program)
+    assert repair is not None
+    assert repair.cost == 1
+    assert repair.num_modified_expressions == 1
+    assert is_correct(repair.repaired_program, deriv_cases)
+    assert repair.tree_edit_cost() >= 1
+
+
+def test_autograder_repairs_wrong_comparison(deriv_cases, paper_sources):
+    grader = AutoGrader(cases=deriv_cases)
+    broken = paper_sources["C2"].replace("len(deriv) == 0", "len(deriv) != 0")
+    program = parse_python_source(broken)
+    repair = grader.repair(program)
+    assert repair is not None
+    assert is_correct(repair.repaired_program, deriv_cases)
+
+
+def test_autograder_cannot_add_fresh_variables(deriv_cases):
+    # The "big conceptual error" of Fig. 8: the repair needs a fresh variable
+    # and new statements, which the error model cannot express.
+    missing_accumulator = """
+def computeDeriv(poly):
+    for e in range(1, len(poly)):
+        x = float(poly[e]*e)
+    if poly == []:
+        return [0.0]
+    else:
+        return poly
+"""
+    grader = AutoGrader(cases=deriv_cases, max_candidates=3000)
+    repair = grader.repair(parse_python_source(missing_accumulator))
+    assert repair is None
+
+
+def test_autograder_gives_up_on_correct_programs_quickly(paper_sources, deriv_cases):
+    # A correct program is never "repaired" with zero edits (the search starts
+    # at one edit); it simply finds some one-edit variant that still passes or
+    # nothing at all -- either way it must terminate within its budget.
+    grader = AutoGrader(cases=deriv_cases, max_candidates=500)
+    program = parse_python_source(paper_sources["C1"])
+    grader.repair(program)  # must not hang or raise

@@ -1,0 +1,217 @@
+"""Tests for the mini-C front-end: lexer, parser, lowering, execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import ParseError, UnsupportedFeatureError
+from repro.frontend.c import parse_c, parse_c_source, tokenize
+from repro.frontend.c.cast import CBinary, CCall, CFor, CIf, CWhile
+from repro.interpreter import execute, printed_output
+from repro.model.expr import VAR_STDIN
+
+
+def _output(source: str, stdin: list) -> str:
+    program = parse_c_source(source)
+    return printed_output(execute(program, {VAR_STDIN: list(stdin)}))
+
+
+# -- lexer ------------------------------------------------------------------------
+
+
+def test_tokenize_basic_tokens():
+    tokens = tokenize('int x = 10; // comment\nprintf("hi\\n");')
+    kinds = [(t.kind, t.value) for t in tokens]
+    assert ("keyword", "int") in kinds
+    assert ("ident", "x") in kinds
+    assert ("number", "10") in kinds
+    assert ("string", "hi\n") in kinds
+    assert kinds[-1] == ("eof", "")
+
+
+def test_tokenize_operators_and_comments():
+    tokens = tokenize("a <= b && c != d /* block\ncomment */ e++")
+    values = [t.value for t in tokens if t.kind == "op"]
+    assert "<=" in values and "&&" in values and "!=" in values and "++" in values
+
+
+def test_tokenize_preprocessor_skipped_and_char_literal():
+    tokens = tokenize("#include <stdio.h>\nchar c = 'x';")
+    assert all(t.value != "include" for t in tokens if t.kind == "ident")
+    assert any(t.kind == "char" and t.value == "x" for t in tokens)
+
+
+def test_tokenize_errors():
+    with pytest.raises(ParseError):
+        tokenize('"unterminated')
+    with pytest.raises(ParseError):
+        tokenize("int x = @;")
+
+
+# -- parser -----------------------------------------------------------------------
+
+
+def test_parse_function_and_statements():
+    unit = parse_c(
+        """
+        int main() {
+            int a = 1, b;
+            b = a + 2;
+            if (a < b) { a = b; } else a = 0;
+            while (a > 0) a--;
+            for (b = 0; b < 3; b++) { a = a + b; }
+            return a;
+        }
+        """
+    )
+    assert len(unit.functions) == 1
+    main = unit.functions[0]
+    assert main.name == "main"
+    kinds = [type(statement) for statement in main.body]
+    assert CIf in kinds and CWhile in kinds and CFor in kinds
+
+
+def test_parse_expression_precedence():
+    unit = parse_c("int main() { int x = 1 + 2 * 3 < 10 && 1; return x; }")
+    declaration = unit.functions[0].body[0]
+    init = declaration.declarators[0].init
+    assert isinstance(init, CBinary) and init.op == "&&"
+
+
+def test_parse_scanf_address_of():
+    unit = parse_c('int main() { int a; scanf("%d", &a); return 0; }')
+    call = unit.functions[0].body[1].expr
+    assert isinstance(call, CCall) and call.name == "scanf"
+    assert call.address_of == [False, True]
+
+
+def test_parse_errors():
+    with pytest.raises(ParseError):
+        parse_c("int main() { int a = ; }")
+    with pytest.raises(ParseError):
+        parse_c("")
+    with pytest.raises(UnsupportedFeatureError):
+        parse_c("int main() { int a[10]; return 0; }")
+
+
+# -- lowering + execution -----------------------------------------------------------
+
+
+def test_simple_io_roundtrip():
+    source = r"""
+    #include <stdio.h>
+    int main() {
+        int a, b;
+        scanf("%d %d", &a, &b);
+        printf("%d\n", a + b);
+        return 0;
+    }
+    """
+    assert _output(source, [3, 4]) == "7\n"
+
+
+def test_integer_division_and_modulo():
+    source = r"""
+    int main() {
+        int n;
+        scanf("%d", &n);
+        printf("%d %d\n", n / 10, n % 10);
+        return 0;
+    }
+    """
+    assert _output(source, [137]) == "13 7\n"
+
+
+def test_float_division():
+    source = r"""
+    int main() {
+        float x = 7;
+        printf("%f\n", x / 2);
+        return 0;
+    }
+    """
+    assert _output(source, []).startswith("3.5")
+
+
+def test_for_loop_lowering_and_ternary():
+    source = r"""
+    int main() {
+        int i, total = 0;
+        for (i = 1; i <= 5; i++) {
+            total += (i % 2 == 0) ? i : 0;
+        }
+        printf("%d\n", total);
+        return 0;
+    }
+    """
+    assert _output(source, []) == "6\n"
+
+
+def test_do_while_lowering():
+    source = r"""
+    int main() {
+        int n = 3, steps = 0;
+        do {
+            n = n - 1;
+            steps++;
+        } while (n > 0);
+        printf("%d\n", steps);
+        return 0;
+    }
+    """
+    assert _output(source, []) == "3\n"
+
+
+def test_break_in_while():
+    source = r"""
+    int main() {
+        int i = 0;
+        while (1) {
+            if (i == 4) break;
+            i++;
+        }
+        printf("%d\n", i);
+        return 0;
+    }
+    """
+    assert _output(source, []) == "4\n"
+
+
+def test_char_output_and_percent_c():
+    source = r"""
+    int main() {
+        printf("%c%c\n", '*', '*');
+        return 0;
+    }
+    """
+    assert _output(source, []) == "**\n"
+
+
+def test_unsupported_continue_in_for():
+    source = "int main() { int i; for (i = 0; i < 3; i++) { continue; } return 0; }"
+    with pytest.raises(UnsupportedFeatureError):
+        parse_c_source(source)
+
+
+# -- the six user-study problems execute correctly ----------------------------------
+
+
+@pytest.mark.parametrize(
+    "problem_name",
+    [
+        "fibonacci",
+        "special_number",
+        "reverse_difference",
+        "factorial_interval",
+        "trapezoid",
+        "rhombus",
+    ],
+)
+def test_user_study_reference_solutions_are_correct(problem_name):
+    from repro.core.inputs import is_correct
+    from repro.datasets import get_problem
+
+    problem = get_problem(problem_name)
+    for source in problem.reference_sources:
+        program = parse_c_source(source)
+        assert is_correct(program, problem.cases), f"reference failed: {problem_name}"

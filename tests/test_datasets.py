@@ -1,0 +1,134 @@
+"""Tests for problem specs, variants, mutations and corpus generation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.inputs import is_correct
+from repro.datasets import (
+    EMPTY_LABEL,
+    UNSUPPORTED_LABEL,
+    all_problems,
+    generate_corpus,
+    get_problem,
+    make_correct_variant,
+    mutate_source,
+    registry,
+)
+from repro.datasets.mutations import make_empty_attempt, make_unsupported_attempt
+from repro.datasets.variants import rename_c_variables, rename_python_variables
+from repro.frontend import FrontendError, parse_source
+
+
+def test_registry_contains_all_nine_problems():
+    problems = registry()
+    assert len(problems) == 9
+    assert {p.experiment for p in problems.values()} == {"mooc", "user-study"}
+    assert len(all_problems(experiment="mooc")) == 3
+    assert len(all_problems(experiment="user-study")) == 6
+
+
+def test_get_problem_unknown():
+    with pytest.raises(KeyError):
+        get_problem("nope")
+
+
+@pytest.mark.parametrize("spec", all_problems(), ids=lambda s: s.name)
+def test_all_reference_solutions_are_correct(spec):
+    for source in spec.reference_sources:
+        program = parse_source(source, language=spec.language, entry=spec.entry)
+        assert is_correct(program, spec.cases), f"bad reference for {spec.name}"
+
+
+@pytest.mark.parametrize("spec", all_problems(), ids=lambda s: s.name)
+def test_equivalence_swaps_preserve_correctness(spec):
+    for original, replacement in spec.equivalence_swaps:
+        for source in spec.reference_sources:
+            if original not in source:
+                continue
+            swapped = source.replace(original, replacement, 1)
+            program = parse_source(swapped, language=spec.language, entry=spec.entry)
+            assert is_correct(program, spec.cases), (
+                f"swap {original!r} -> {replacement!r} broke a reference of {spec.name}"
+            )
+
+
+def test_rename_python_variables_preserves_behaviour(paper_sources, deriv_cases):
+    rng = random.Random(3)
+    renamed = rename_python_variables(paper_sources["C1"], rng)
+    program = parse_source(renamed)
+    assert is_correct(program, deriv_cases)
+
+
+def test_rename_c_variables_preserves_strings_and_behaviour():
+    spec = get_problem("special_number")
+    rng = random.Random(3)
+    renamed = rename_c_variables(spec.reference_sources[0], rng)
+    assert "YES" in renamed and "NO" in renamed and "%d" in renamed
+    program = parse_source(renamed, language="c")
+    assert is_correct(program, spec.cases)
+
+
+def test_make_correct_variant_is_correct_for_every_problem():
+    rng = random.Random(9)
+    for spec in all_problems():
+        variant = make_correct_variant(spec, spec.reference_sources[0], rng)
+        program = parse_source(variant, language=spec.language, entry=spec.entry)
+        assert is_correct(program, spec.cases)
+
+
+def test_mutations_produce_parsable_but_incorrect_programs():
+    spec = get_problem("derivatives")
+    rng = random.Random(5)
+    seen_incorrect = 0
+    for _ in range(30):
+        mutation = mutate_source(spec, spec.reference_sources[0], rng, allow_special=False)
+        if mutation is None:
+            continue
+        try:
+            program = parse_source(mutation.source)
+        except FrontendError:
+            continue
+        if not is_correct(program, spec.cases):
+            seen_incorrect += 1
+    assert seen_incorrect >= 5
+
+
+def test_special_attempts():
+    spec = get_problem("derivatives")
+    empty = make_empty_attempt(spec)
+    assert empty.label == EMPTY_LABEL and "def computeDeriv" in empty.source
+    unsupported = make_unsupported_attempt(spec)
+    assert unsupported.label == UNSUPPORTED_LABEL
+    c_spec = get_problem("trapezoid")
+    assert "main" in make_empty_attempt(c_spec).source
+
+
+def test_generate_corpus_counts_and_determinism():
+    corpus_a = generate_corpus("oddTuples", 12, 8, seed=42)
+    corpus_b = generate_corpus("oddTuples", 12, 8, seed=42)
+    assert len(corpus_a.correct) == 12
+    assert len(corpus_a.incorrect) == 8
+    assert corpus_a.correct_sources == corpus_b.correct_sources
+    assert corpus_a.incorrect_sources == corpus_b.incorrect_sources
+    corpus_c = generate_corpus("oddTuples", 12, 8, seed=43)
+    assert corpus_c.incorrect_sources != corpus_a.incorrect_sources
+
+
+def test_generate_corpus_correct_pool_verified():
+    corpus = generate_corpus("fibonacci", 8, 4, seed=1)
+    spec = get_problem("fibonacci")
+    for source in corpus.correct_sources:
+        assert is_correct(parse_source(source, language="c"), spec.cases)
+
+
+def test_generate_corpus_incorrect_pool_fails_tests():
+    corpus = generate_corpus("derivatives", 8, 6, seed=1)
+    spec = get_problem("derivatives")
+    for attempt in corpus.incorrect:
+        if attempt.label in (EMPTY_LABEL, UNSUPPORTED_LABEL):
+            continue
+        program = parse_source(attempt.source)
+        assert not is_correct(program, spec.cases)

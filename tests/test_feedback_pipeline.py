@@ -1,0 +1,137 @@
+"""Tests for feedback generation and the end-to-end pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clustering import cluster_programs
+from repro.core.feedback import GENERIC_FEEDBACK_THRESHOLD, generate_feedback
+from repro.core.inputs import InputCase, is_correct
+from repro.core.pipeline import Clara, RepairStatus
+from repro.core.repair import repair_against_cluster
+from repro.frontend import parse_python_source
+
+
+@pytest.fixture()
+def clara(paper_sources, deriv_cases):
+    tool = Clara(deriv_cases)
+    tool.add_correct_sources([paper_sources["C1"], paper_sources["C2"]])
+    return tool
+
+
+# -- feedback ---------------------------------------------------------------------
+
+
+def test_feedback_for_paper_i1_mentions_return(paper_sources, deriv_cases):
+    cluster = cluster_programs(
+        [parse_python_source(paper_sources["C1"])], deriv_cases
+    ).clusters[0]
+    implementation = parse_python_source(paper_sources["I1"])
+    repair = repair_against_cluster(implementation, cluster)
+    feedback = generate_feedback(repair, implementation)
+    assert not feedback.generic
+    assert feedback.is_repair_based
+    text = feedback.text()
+    assert "return value" in text
+    assert "[0.0]" in text
+    assert "line" in text  # location information is included
+
+
+def test_feedback_generic_above_threshold(paper_sources, deriv_cases):
+    cluster = cluster_programs(
+        [parse_python_source(paper_sources["C1"])], deriv_cases
+    ).clusters[0]
+    implementation = parse_python_source(paper_sources["I2"])
+    repair = repair_against_cluster(implementation, cluster)
+    feedback = generate_feedback(repair, implementation, generic_threshold=0.5)
+    assert feedback.generic
+    assert not feedback.is_repair_based
+    assert "problem statement" in feedback.text()
+    assert GENERIC_FEEDBACK_THRESHOLD == 100
+
+
+def test_feedback_numbering():
+    from repro.core.feedback import Feedback, FeedbackItem
+
+    feedback = Feedback(items=[FeedbackItem("first"), FeedbackItem("second")], generic=False, cost=2)
+    assert feedback.text().splitlines() == ["1. first", "2. second"]
+
+
+# -- pipeline ----------------------------------------------------------------------
+
+
+def test_pipeline_repairs_incorrect_attempt(clara, paper_sources, deriv_cases):
+    outcome = clara.repair_source(paper_sources["I1"])
+    assert outcome.status == RepairStatus.REPAIRED
+    assert outcome.succeeded
+    assert outcome.repair is not None
+    assert outcome.feedback is not None
+    assert is_correct(outcome.repair.repaired_program, deriv_cases)
+    assert outcome.elapsed >= 0.0
+
+
+def test_pipeline_detects_already_correct(clara, paper_sources):
+    outcome = clara.repair_source(paper_sources["C2"])
+    assert outcome.status == RepairStatus.ALREADY_CORRECT
+
+
+def test_pipeline_parse_error_status(clara):
+    outcome = clara.repair_source("def computeDeriv(poly:\n  return")
+    assert outcome.status == RepairStatus.PARSE_ERROR
+
+
+def test_pipeline_unsupported_status(clara):
+    outcome = clara.repair_source(
+        "def computeDeriv(poly):\n    return [i*p for i, p in enumerate(poly)][1:] or [0.0]\n"
+    )
+    assert outcome.status == RepairStatus.UNSUPPORTED
+
+
+def test_pipeline_no_structural_match_status(clara):
+    outcome = clara.repair_source("def computeDeriv(poly):\n    return [0.0]\n")
+    assert outcome.status == RepairStatus.NO_STRUCTURAL_MATCH
+
+
+def test_pipeline_without_clusters(deriv_cases, paper_sources):
+    empty = Clara(deriv_cases)
+    outcome = empty.repair_source(paper_sources["I1"])
+    assert outcome.status == RepairStatus.NO_REPAIR
+
+
+def test_pipeline_skips_uncorrect_sources_when_clustering(deriv_cases, paper_sources):
+    clara = Clara(deriv_cases)
+    clara.add_correct_sources(
+        [paper_sources["C1"], paper_sources["I1"], "not even python ("]
+    )
+    # Only the genuinely correct source is clustered.
+    assert clara.cluster_count == 1
+    assert clara.clusters[0].size == 1
+
+
+def test_pipeline_cluster_sizes_and_counts(clara):
+    assert clara.cluster_count == 1
+    assert clara.cluster_sizes() == [2]
+
+
+def test_pipeline_representative_only_ablation(paper_sources, deriv_cases):
+    full = Clara(deriv_cases, use_cluster_expressions=True)
+    full.add_correct_sources([paper_sources["C1"], paper_sources["C2"]])
+    restricted = Clara(deriv_cases, use_cluster_expressions=False)
+    restricted.add_correct_sources([paper_sources["C1"], paper_sources["C2"]])
+    source = paper_sources["I2"]
+    full_outcome = full.repair_source(source)
+    restricted_outcome = restricted.repair_source(source)
+    assert full_outcome.succeeded and restricted_outcome.succeeded
+    assert full_outcome.repair.cost <= restricted_outcome.repair.cost
+
+
+def test_pipeline_c_language_end_to_end():
+    from repro.datasets import get_problem
+
+    problem = get_problem("special_number")
+    clara = Clara(cases=problem.cases, language="c")
+    clara.add_correct_sources(problem.reference_sources)
+    broken = problem.reference_sources[0].replace("d*d*d", "d*d")
+    outcome = clara.repair_source(broken)
+    assert outcome.status == RepairStatus.REPAIRED
+    assert is_correct(outcome.repair.repaired_program, problem.cases)

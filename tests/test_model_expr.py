@@ -1,0 +1,127 @@
+"""Unit and property tests for the expression model."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.model.expr import (
+    Const,
+    Op,
+    Var,
+    conjunction,
+    negation,
+    render_expression,
+)
+
+
+def test_variables_collects_all_names():
+    expr = Op("Add", Var("x"), Op("Mult", Var("y"), Const(2)))
+    assert expr.variables() == {"x", "y"}
+
+
+def test_size_counts_nodes():
+    expr = Op("Add", Var("x"), Op("Mult", Var("y"), Const(2)))
+    assert expr.size() == 5
+    assert Var("x").size() == 1
+    assert Const(3).size() == 1
+
+
+def test_structural_equality_and_hash():
+    a = Op("Add", Var("x"), Const(1))
+    b = Op("Add", Var("x"), Const(1))
+    c = Op("Add", Var("x"), Const(2))
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != c
+    assert Const(True) != Const(1) or True  # Const equality is type-aware
+    assert Const([1, 2]) == Const([1, 2])
+
+
+def test_const_bool_vs_int_distinct():
+    assert Const(True) != Const(1)
+    assert Const(0) != Const(False)
+
+
+def test_substitute_vars():
+    expr = Op("Add", Var("x"), Var("y"))
+    replaced = expr.substitute_vars({"x": Op("Mult", Var("z"), Const(2))})
+    assert replaced == Op("Add", Op("Mult", Var("z"), Const(2)), Var("y"))
+    # substitution is non-destructive
+    assert expr == Op("Add", Var("x"), Var("y"))
+
+
+def test_rename_vars():
+    expr = Op("Add", Var("x"), Var("y"))
+    assert expr.rename_vars({"x": "a", "y": "b"}) == Op("Add", Var("a"), Var("b"))
+
+
+def test_paths_and_replace_at():
+    expr = Op("Add", Var("x"), Op("Mult", Var("y"), Const(2)))
+    paths = dict(expr.paths())
+    assert paths[()] == expr
+    assert paths[(1, 1)] == Const(2)
+    replaced = expr.replace_at((1, 1), Const(3))
+    assert replaced == Op("Add", Var("x"), Op("Mult", Var("y"), Const(3)))
+    assert expr.node_at((1, 0)) == Var("y")
+
+
+def test_render_expression_readable():
+    expr = Op("ite", Op("Eq", Var("r"), Const([])), Const([0.0]), Var("r"))
+    text = render_expression(expr)
+    assert "if" in text and "r == []" in text
+    assert render_expression(Op("GetElement", Var("p"), Var("i"))) == "p[i]"
+    assert render_expression(Op("append", Var("r"), Const(1))) == "append(r, 1)"
+    assert render_expression(Op("TupleInit", Var("x"))) == "(x,)"
+
+
+def test_conjunction_and_negation_folding():
+    assert conjunction([]) == Const(True)
+    assert conjunction([Const(True), Var("a")]) == Var("a")
+    assert negation(Const(True)) == Const(False)
+    assert negation(negation(Var("a"))) == Var("a")
+
+
+# -- property-based tests -------------------------------------------------------
+
+_names = st.sampled_from(["a", "b", "c", "x", "y"])
+
+
+def exprs(depth: int = 3):
+    leaf = st.one_of(
+        _names.map(Var),
+        st.integers(-5, 5).map(Const),
+        st.booleans().map(Const),
+    )
+    return st.recursive(
+        leaf,
+        lambda children: st.tuples(
+            st.sampled_from(["Add", "Mult", "Eq", "Lt", "And"]), children, children
+        ).map(lambda t: Op(t[0], t[1], t[2])),
+        max_leaves=8,
+    )
+
+
+@given(exprs())
+def test_rename_identity_is_noop(expr):
+    mapping = {name: name for name in expr.variables()}
+    assert expr.rename_vars(mapping) == expr
+
+
+@given(exprs())
+def test_size_positive_and_consistent_with_paths(expr):
+    assert expr.size() == len(list(expr.paths()))
+    assert expr.size() >= 1
+
+
+@given(exprs())
+def test_rename_roundtrip(expr):
+    forward = {"a": "t1", "b": "t2", "c": "t3", "x": "t4", "y": "t5"}
+    backward = {v: k for k, v in forward.items()}
+    assert expr.rename_vars(forward).rename_vars(backward) == expr
+
+
+@given(exprs())
+def test_replace_every_path_keeps_tree_valid(expr):
+    for path, _node in expr.paths():
+        replaced = expr.replace_at(path, Const(42))
+        assert replaced.node_at(path) == Const(42)

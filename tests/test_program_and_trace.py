@@ -1,0 +1,165 @@
+"""Unit tests for the Program/Location/Trace containers and feedback rendering."""
+
+from __future__ import annotations
+
+from repro.core.feedback import describe_action
+from repro.core.repair import RepairAction
+from repro.frontend import parse_python_source
+from repro.interpreter import execute
+from repro.model.expr import Const, Op, VAR_RET, Var
+from repro.model.program import Program
+from repro.model.trace import Trace, TraceStep, project
+
+
+# -- Program ----------------------------------------------------------------------
+
+
+def _two_location_program() -> Program:
+    program = Program("demo", params=["x"])
+    first = program.add_location("entry", line=1)
+    second = program.add_location("after", line=3)
+    program.set_update(first.loc_id, "y", Op("Add", Var("x"), Const(1)))
+    program.set_update(second.loc_id, VAR_RET, Var("y"))
+    program.set_successor(first.loc_id, second.loc_id, second.loc_id)
+    program.set_successor(second.loc_id, None, None)
+    return program
+
+
+def test_program_accessors():
+    program = _two_location_program()
+    assert program.init_loc == 0
+    assert program.location_ids() == [0, 1]
+    assert program.update_for(0, "y") == Op("Add", Var("x"), Const(1))
+    # implicit identity update for unassigned variables
+    assert program.update_for(1, "x") == Var("x")
+    assert set(program.variables) >= {"x", "y", VAR_RET}
+    assert program.user_variables == ["x", "y"]
+    assert not program.is_branching(0)
+    assert program.successor(1, True) is None
+
+
+def test_program_ast_size_counts_only_explicit_updates():
+    program = _two_location_program()
+    # y := x + 1 has 3 nodes, $ret := y has 1 node
+    assert program.ast_size() == 4
+    assert list(program.iter_updates()) == [
+        (0, "y", Op("Add", Var("x"), Const(1))),
+        (1, VAR_RET, Var("y")),
+    ]
+
+
+def test_program_copy_is_independent():
+    program = _two_location_program()
+    clone = program.copy()
+    clone.set_update(0, "y", Const(0))
+    assert program.update_for(0, "y") == Op("Add", Var("x"), Const(1))
+    assert clone.update_for(0, "y") == Const(0)
+
+
+def test_program_rename_variables():
+    program = _two_location_program()
+    renamed = program.rename_variables({"x": "n", "y": "m"})
+    assert renamed.params == ["n"]
+    assert renamed.update_for(0, "m") == Op("Add", Var("n"), Const(1))
+    # the original is untouched
+    assert program.params == ["x"]
+
+
+def test_program_describe_mentions_updates():
+    text = _two_location_program().describe()
+    assert "y := x + 1" in text
+    assert "loc 0" in text and "end" in text
+
+
+def test_prune_unread_flags_keeps_observables():
+    program = _two_location_program()
+    program.set_update(0, "$brk1", Const(False))
+    program.prune_unread_flags()
+    assert "$brk1" not in program.locations[0].updates
+    assert VAR_RET in program.locations[1].updates
+
+
+# -- Trace ------------------------------------------------------------------------
+
+
+def test_trace_projection_and_final_memory():
+    steps = [
+        TraceStep(loc_id=0, pre={"x": 1}, post={"x": 1, "y": 2}),
+        TraceStep(loc_id=1, pre={"x": 1, "y": 2}, post={"x": 1, "y": 2, "$ret": 2}),
+    ]
+    trace = Trace(steps)
+    assert len(trace) == 2
+    assert trace.location_sequence == (0, 1)
+    assert project(trace, "y") == (2, 2)
+    assert project(trace, "missing") == (None, None)
+    assert trace.final_value("$ret") == 2
+    assert trace.steps_at(1) == [steps[1]]
+    assert not trace.aborted
+
+
+def test_empty_trace():
+    trace = Trace([])
+    assert trace.final_memory() == {}
+    assert trace.final_value("x", default="d") == "d"
+
+
+def test_trace_steps_record_pre_and_post_states():
+    program = parse_python_source(
+        "def f(n):\n    s = 0\n    for i in range(n):\n        s += i\n    return s\n"
+    )
+    trace = execute(program, {"n": 2})
+    body_steps = [s for s in trace if program.locations[s.loc_id].name == "loop-body"]
+    assert len(body_steps) == 2
+    assert body_steps[0].pre["s"] == 0
+    assert body_steps[0].post["s"] == 0  # s += i with i = 0
+    assert body_steps[1].post["s"] == 1
+
+
+# -- feedback action rendering --------------------------------------------------------
+
+
+def _action(kind: str, **kwargs) -> RepairAction:
+    defaults = dict(
+        kind=kind,
+        loc_id=0,
+        var="x",
+        old_expr=Var("x"),
+        new_expr=Op("Add", Var("x"), Const(1)),
+        cost=1,
+        rep_var="y",
+        line=4,
+        location_name="loop-body",
+    )
+    defaults.update(kwargs)
+    return RepairAction(**defaults)
+
+
+def test_describe_modify_action():
+    item = describe_action(_action("modify"))
+    assert "change" in item.message and "x + 1" in item.message
+    assert "line 4" in item.message and "loop body" in item.message
+
+
+def test_describe_add_and_delete_actions():
+    add = describe_action(_action("add", var="new_result", old_expr=None))
+    assert "new variable" in add.message and "new_result" in add.message
+    delete = describe_action(_action("delete", new_expr=None))
+    assert "Delete" in delete.message
+
+
+def test_describe_remove_assignment_and_special_variables():
+    remove = describe_action(_action("remove-assignment"))
+    assert "Remove the assignment" in remove.message
+    ret = describe_action(_action("modify", var="$ret", location_name="after-loop"))
+    assert "return value" in ret.message and "after the loop" in ret.message
+    cond = describe_action(_action("modify", var="$cond", location_name="loop-cond"))
+    assert "condition" in cond.message
+    out = describe_action(_action("modify", var="$out", location_name="entry"))
+    assert "printed output" in out.message
+    iterator = describe_action(_action("modify", var="$iter1", location_name="entry"))
+    assert "iterator" in iterator.message
+
+
+def test_describe_missing_assignment_added():
+    item = describe_action(_action("modify", old_expr=None))
+    assert item.message.startswith("Add an assignment")

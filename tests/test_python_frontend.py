@@ -1,0 +1,312 @@
+"""Tests for the Python front-end (source → program model)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import ParseError, UnsupportedFeatureError, parse_python_source
+from repro.interpreter import execute, printed_output, returned_value
+from repro.model.expr import VAR_COND, VAR_RET
+
+
+def _run(source: str, **inputs):
+    program = parse_python_source(source)
+    return execute(program, inputs)
+
+
+# -- basics -----------------------------------------------------------------------
+
+
+def test_straight_line_function():
+    trace = _run("def f(x):\n    y = x + 1\n    return y * 2\n", x=5)
+    assert returned_value(trace) == 12
+
+
+def test_sequential_assignments_compose():
+    source = """
+def f(x):
+    a = x + 1
+    b = a * 2
+    a = b - x
+    return a + b
+"""
+    trace = _run(source, x=3)
+    a = 3 + 1
+    b = a * 2
+    a = b - 3
+    assert returned_value(trace) == a + b
+
+
+def test_loopfree_if_becomes_ite():
+    source = """
+def f(x):
+    if x > 0:
+        y = 1
+    else:
+        y = -1
+    return y
+"""
+    program = parse_python_source(source)
+    # single location: the if was folded into an ite expression
+    assert len(program.locations) == 1
+    assert returned_value(execute(program, {"x": 5})) == 1
+    assert returned_value(execute(program, {"x": -5})) == -1
+
+
+def test_elif_chain():
+    source = """
+def sign(x):
+    if x > 0:
+        return 1
+    elif x < 0:
+        return -1
+    else:
+        return 0
+"""
+    for value, expected in ((3, 1), (-2, -1), (0, 0)):
+        assert returned_value(_run(source, x=value)) == expected
+
+
+def test_early_return_guards_later_statements():
+    source = """
+def f(x):
+    if x < 0:
+        return 0
+    x = x * 10
+    return x
+"""
+    assert returned_value(_run(source, x=-3)) == 0
+    assert returned_value(_run(source, x=3)) == 30
+
+
+def test_for_loop_over_range_structure():
+    source = """
+def total(n):
+    s = 0
+    for i in range(n):
+        s += i
+    return s
+"""
+    program = parse_python_source(source)
+    assert len(program.locations) == 4  # entry, cond, body, after
+    assert program.is_branching([l for l in program.location_ids()][1])
+    assert returned_value(execute(program, {"n": 5})) == 10
+
+
+def test_for_loop_over_list_and_tuple_target():
+    source = """
+def pairs(items):
+    s = 0
+    for i, v in enumerate(items):
+        s += i * v
+    return s
+"""
+    assert returned_value(_run(source, items=[2, 3, 4])) == 0 * 2 + 1 * 3 + 2 * 4
+
+
+def test_while_loop():
+    source = """
+def countdown(n):
+    steps = 0
+    while n > 0:
+        n = n - 1
+        steps += 1
+    return steps
+"""
+    assert returned_value(_run(source, n=7)) == 7
+
+
+def test_return_inside_loop_exits():
+    source = """
+def find(items, target):
+    for i in range(len(items)):
+        if items[i] == target:
+            return i
+    return -1
+"""
+    assert returned_value(_run(source, items=[5, 6, 7], target=6)) == 1
+    assert returned_value(_run(source, items=[5, 6, 7], target=9)) == -1
+
+
+def test_break_and_continue():
+    source = """
+def count_until_negative(items):
+    count = 0
+    for x in items:
+        if x < 0:
+            break
+        if x == 0:
+            continue
+        count += 1
+    return count
+"""
+    assert returned_value(_run(source, items=[1, 0, 2, -1, 5])) == 2
+    assert returned_value(_run(source, items=[1, 2, 3])) == 3
+
+
+def test_nested_loops():
+    source = """
+def table(n):
+    total = 0
+    for i in range(n):
+        for j in range(n):
+            total += i * j
+    return total
+"""
+    expected = sum(i * j for i in range(4) for j in range(4))
+    assert returned_value(_run(source, n=4)) == expected
+
+
+def test_subscript_assignment_and_augassign():
+    source = """
+def bump(values, i):
+    values[i] = values[i] + 1
+    values[0] += 10
+    return values
+"""
+    assert returned_value(_run(source, values=[1, 2, 3], i=2)) == [11, 2, 4]
+
+
+def test_list_methods_append_extend():
+    source = """
+def build(n):
+    out = []
+    out.append(n)
+    out.extend([n + 1, n + 2])
+    return out
+"""
+    assert returned_value(_run(source, n=5)) == [5, 6, 7]
+
+
+def test_print_goes_to_out_variable():
+    source = """
+def shout(x):
+    print(x, x + 1)
+    print("done")
+"""
+    trace = _run(source, x=1)
+    assert printed_output(trace) == "1 2\ndone\n"
+
+
+def test_if_with_loop_inside_becomes_control_flow():
+    source = """
+def f(items, flag):
+    total = 0
+    if flag:
+        for x in items:
+            total += x
+    else:
+        total = -1
+    return total
+"""
+    program = parse_python_source(source)
+    assert len(program.locations) > 4
+    assert returned_value(execute(program, {"items": [1, 2, 3], "flag": True})) == 6
+    assert returned_value(execute(program, {"items": [1, 2, 3], "flag": False})) == -1
+
+
+def test_slice_and_step_slice():
+    source = """
+def halves(items):
+    return (items[:2], items[::2])
+"""
+    assert returned_value(_run(source, items=[1, 2, 3, 4, 5])) == ([1, 2], [1, 3, 5])
+
+
+def test_chained_comparison():
+    source = """
+def inside(x):
+    return 0 <= x < 10
+"""
+    assert returned_value(_run(source, x=5)) is True
+    assert returned_value(_run(source, x=20)) is False
+
+
+def test_tuple_unpacking_assignment():
+    source = """
+def swap(a, b):
+    a, b = b, a
+    return (a, b)
+"""
+    assert returned_value(_run(source, a=1, b=2)) == (2, 1)
+
+
+def test_unknown_function_call_yields_undefined_behaviour_not_crash():
+    source = """
+def f(x):
+    return helper(x) + 1
+"""
+    trace = _run(source, x=3)
+    from repro.interpreter.values import is_undef
+
+    assert is_undef(returned_value(trace))
+
+
+# -- special variables / model shape ------------------------------------------------
+
+
+def test_loop_condition_uses_cond_variable():
+    source = """
+def f(n):
+    s = 0
+    for i in range(1, n):
+        s += i
+    return s
+"""
+    program = parse_python_source(source)
+    cond_loc = program.location_ids()[1]
+    assert VAR_COND in program.locations[cond_loc].updates
+    after_loc = program.location_ids()[3]
+    assert VAR_RET in program.locations[after_loc].updates
+
+
+def test_unused_retflag_is_pruned(paper_sources):
+    program = parse_python_source(paper_sources["C1"])
+    assert "$retflag" not in program.variables
+
+
+# -- errors ----------------------------------------------------------------------
+
+
+def test_parse_error_on_invalid_syntax():
+    with pytest.raises(ParseError):
+        parse_python_source("def f(:\n  pass")
+
+
+def test_parse_error_when_no_function():
+    with pytest.raises(ParseError):
+        parse_python_source("x = 1\n")
+
+
+def test_entry_selection():
+    source = "def a():\n    return 1\n\ndef b():\n    return 2\n"
+    assert returned_value(execute(parse_python_source(source, entry="b"), {})) == 2
+    with pytest.raises(ParseError):
+        parse_python_source(source, entry="zzz")
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "def f(xs):\n    return [x for x in xs]\n",
+        "def f(x):\n    g = lambda y: y\n    return g(x)\n",
+        "def f(x):\n    d = {1: 2}\n    return d\n",
+        "def f(*args):\n    return args\n",
+        "def f(x):\n    def g():\n        return 1\n    return g()\n",
+        "def f(x):\n    global y\n    return x\n",
+    ],
+)
+def test_unsupported_features_raise(snippet):
+    with pytest.raises(UnsupportedFeatureError):
+        parse_python_source(snippet)
+
+
+# -- the paper's running example ----------------------------------------------------
+
+
+def test_paper_examples_behaviour(paper_sources):
+    c1 = parse_python_source(paper_sources["C1"])
+    assert returned_value(execute(c1, {"poly": [6.3, 7.6, 12.14]})) == [7.6, 24.28]
+    assert returned_value(execute(c1, {"poly": []})) == [0.0]
+    i1 = parse_python_source(paper_sources["I1"])
+    assert returned_value(execute(i1, {"poly": []})) == 0.0  # the bug: scalar not list

@@ -1,0 +1,113 @@
+"""Tests for the expression simplifier, including a semantics-preservation property."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.interpreter.evaluator import evaluate
+from repro.interpreter.values import values_equal
+from repro.model.expr import Const, Op, Var
+from repro.model.simplify import simplify
+
+
+def test_not_constant_folding():
+    assert simplify(Op("Not", Const(True))) == Const(False)
+    # Double negation folds only for operands known to be boolean (Python's
+    # `not not 0` is False, not 0, so Var operands must stay untouched).
+    boolean = Op("Lt", Var("a"), Const(1))
+    assert simplify(Op("Not", Op("Not", boolean))) == boolean
+    assert simplify(Op("Not", Op("Not", Var("a")))) == Op("Not", Op("Not", Var("a")))
+
+
+def test_not_of_boolean_ite():
+    expr = Op("Not", Op("ite", Var("c"), Const(True), Const(False)))
+    assert simplify(expr) == Op("Not", Var("c"))
+    boolean_cond = Op("Eq", Var("c"), Const(0))
+    expr = Op("Not", Op("ite", boolean_cond, Const(False), Const(True)))
+    assert simplify(expr) == boolean_cond
+
+
+def test_and_or_folding():
+    boolean = Op("Gt", Var("a"), Const(0))
+    assert simplify(Op("And", Const(True), Var("a"))) == Var("a")
+    assert simplify(Op("And", boolean, Const(False))) == Const(False)
+    assert simplify(Op("And", Const(False), Var("a"))) == Const(False)
+    assert simplify(Op("Or", Const(False), Var("a"))) == Var("a")
+    assert simplify(Op("Or", boolean, Const(True))) == Const(True)
+    assert simplify(Op("Or", Const(True), Var("a"))) == Const(True)
+    # Non-boolean operands are left alone (value-preservation).
+    assert simplify(Op("And", Var("a"), Const(False))) == Op("And", Var("a"), Const(False))
+
+
+def test_ite_folding():
+    assert simplify(Op("ite", Const(True), Var("a"), Var("b"))) == Var("a")
+    assert simplify(Op("ite", Const(False), Var("a"), Var("b"))) == Var("b")
+    assert simplify(Op("ite", Var("c"), Var("a"), Var("a"))) == Var("a")
+
+
+def test_nested_ite_same_condition_absorbed():
+    inner = Op("ite", Var("c"), Var("x"), Var("y"))
+    expr = Op("ite", Var("c"), inner, Var("z"))
+    assert simplify(expr) == Op("ite", Var("c"), Var("x"), Var("z"))
+
+
+def test_ite_not_condition_swaps_branches():
+    expr = Op("ite", Op("Not", Var("c")), Var("a"), Var("b"))
+    assert simplify(expr) == Op("ite", Var("c"), Var("b"), Var("a"))
+
+
+def test_guard_pattern_from_frontend_folds_to_paper_form():
+    # ite(Not(ite(c, True, False)), new, ite(c, [0.0], ret))  ==>  ite(c, [0.0], new)
+    cond = Op("Eq", Var("new"), Const([]))
+    expr = Op(
+        "ite",
+        Op("Not", Op("ite", cond, Const(True), Const(False))),
+        Var("new"),
+        Op("ite", cond, Const([0.0]), Var("$ret")),
+    )
+    assert simplify(expr) == Op("ite", cond, Const([0.0]), Var("new"))
+
+
+# -- semantics preservation ------------------------------------------------------
+
+_names = ["a", "b", "c"]
+
+
+def _exprs():
+    leaf = st.one_of(
+        st.sampled_from(_names).map(Var),
+        st.integers(-3, 3).map(Const),
+        st.booleans().map(Const),
+    )
+    return st.recursive(
+        leaf,
+        lambda children: st.one_of(
+            st.tuples(st.sampled_from(["And", "Or", "Eq", "Lt", "Add"]), children, children).map(
+                lambda t: Op(t[0], t[1], t[2])
+            ),
+            children.map(lambda e: Op("Not", e)),
+            st.tuples(children, children, children).map(lambda t: Op("ite", *t)),
+        ),
+        max_leaves=10,
+    )
+
+
+@given(
+    _exprs(),
+    st.fixed_dictionaries({name: st.one_of(st.integers(-3, 3), st.booleans()) for name in _names}),
+)
+def test_simplify_preserves_evaluation(expr, memory):
+    original = evaluate(expr, memory)
+    simplified = evaluate(simplify(expr), memory)
+    assert values_equal(original, simplified)
+
+
+@given(_exprs())
+def test_simplify_never_grows(expr):
+    assert simplify(expr).size() <= expr.size()
+
+
+@given(_exprs())
+def test_simplify_is_idempotent(expr):
+    once = simplify(expr)
+    assert simplify(once) == once

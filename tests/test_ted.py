@@ -1,0 +1,89 @@
+"""Tests for the Zhang–Shasha tree edit distance substrate."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.model.expr import Const, Op, Var
+from repro.ted import TreeNode, expr_edit_distance, expr_to_tree, tree_edit_distance, tree_size
+
+
+def _t(label: str, *children: TreeNode) -> TreeNode:
+    node = TreeNode(label)
+    for child in children:
+        node.add(child)
+    return node
+
+
+def test_identical_trees_distance_zero():
+    tree = _t("a", _t("b"), _t("c", _t("d")))
+    assert tree_edit_distance(tree, tree) == 0
+
+
+def test_single_relabel():
+    assert tree_edit_distance(_t("a", _t("b")), _t("a", _t("x"))) == 1
+
+
+def test_insert_and_delete():
+    small = _t("a", _t("b"))
+    large = _t("a", _t("b"), _t("c"))
+    assert tree_edit_distance(small, large) == 1
+    assert tree_edit_distance(large, small) == 1
+
+
+def test_classic_zhang_shasha_example():
+    # The well-known f(d(a, c(b)), e) vs f(c(d(a, b)), e) example: distance 2.
+    t1 = _t("f", _t("d", _t("a"), _t("c", _t("b"))), _t("e"))
+    t2 = _t("f", _t("c", _t("d", _t("a"), _t("b"))), _t("e"))
+    assert tree_edit_distance(t1, t2) == 2
+
+
+def test_completely_different_trees():
+    t1 = _t("a")
+    t2 = _t("x", _t("y"), _t("z"))
+    assert tree_edit_distance(t1, t2) == 3
+
+
+def test_expr_edit_distance_on_paper_repair():
+    # Fig. 2(g): change 0.0 to [0.0] in the return expression.
+    old = Op("ite", Op("Eq", Var("new"), Const([])), Const(0.0), Var("new"))
+    new = Op("ite", Op("Eq", Var("new"), Const([])), Const([0.0]), Var("new"))
+    assert expr_edit_distance(old, new) == 1
+    assert expr_edit_distance(old, old) == 0
+
+
+def test_expr_to_tree_labels():
+    tree = expr_to_tree(Op("Add", Var("x"), Const(1)))
+    assert tree.label == "op:Add"
+    assert [child.label for child in tree.children] == ["var:x", "const:1"]
+    assert tree_size(tree) == 3
+
+
+# -- properties ---------------------------------------------------------------------
+
+
+def _tree_strategy():
+    return st.recursive(
+        st.sampled_from("abcde").map(TreeNode),
+        lambda children: st.tuples(
+            st.sampled_from("abcde"), st.lists(children, min_size=1, max_size=3)
+        ).map(lambda t: TreeNode(t[0], list(t[1]))),
+        max_leaves=6,
+    )
+
+
+@given(_tree_strategy(), _tree_strategy())
+def test_distance_symmetric_with_unit_costs(t1, t2):
+    assert tree_edit_distance(t1, t2) == tree_edit_distance(t2, t1)
+
+
+@given(_tree_strategy(), _tree_strategy())
+def test_distance_bounds(t1, t2):
+    distance = tree_edit_distance(t1, t2)
+    assert 0 <= distance <= tree_size(t1) + tree_size(t2)
+    assert distance >= abs(tree_size(t1) - tree_size(t2))
+
+
+@given(_tree_strategy())
+def test_distance_identity(tree):
+    assert tree_edit_distance(tree, tree) == 0
