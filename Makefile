@@ -1,0 +1,25 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench tier1 lint clean
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ -q
+
+tier1:
+	$(PYTHON) -m pytest -x -q
+
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples
+	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; bytecode compile check only"; \
+	fi
+
+clean:
+	find . -type d -name __pycache__ -prune -exec rm -rf {} +
+	rm -rf .pytest_cache .benchmarks

@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.baseline import AutoGrader
 from repro.core.pipeline import Clara
 from repro.datasets import generate_corpus, get_problem
+from repro.engine import RepairCaches
 from repro.frontend import parse_source
 
 __all__ = ["single_repair_workload", "autograder_workload", "clustering_workload"]
@@ -13,7 +14,15 @@ __all__ = ["single_repair_workload", "autograder_workload", "clustering_workload
 def _small_clara(problem_name: str, n_correct: int = 12, seed: int = 5) -> tuple[Clara, object]:
     problem = get_problem(problem_name)
     corpus = generate_corpus(problem, n_correct, 1, seed=seed)
-    clara = Clara(cases=problem.cases, language=problem.language, entry=problem.entry)
+    # Caching is disabled so repeated benchmark rounds keep measuring a full
+    # cold repair instead of a repair-memo hit (the engine's cached path is
+    # measured separately by test_batch_throughput.py).
+    clara = Clara(
+        cases=problem.cases,
+        language=problem.language,
+        entry=problem.entry,
+        caches=RepairCaches(enabled=False),
+    )
     clara.add_correct_sources(corpus.correct_sources)
     return clara, corpus
 

@@ -10,6 +10,8 @@ Public API highlights:
 * :class:`repro.core.Clara` — the end-to-end pipeline (cluster + repair +
   feedback).
 * :class:`repro.core.InputCase` — a test input with expected behaviour.
+* :class:`repro.engine.BatchRepairEngine` — concurrent corpus repair with
+  shared trace/match/repair caching and aggregate reporting.
 * :func:`repro.frontend.parse_source` — Python / mini-C front-ends.
 * :mod:`repro.datasets` — the nine assignments of the paper with synthetic
   student attempts.
@@ -29,15 +31,19 @@ from .core import (
     generate_feedback,
     is_correct,
 )
+from .engine import BatchRepairEngine, BatchReport, RepairCaches
 from .frontend import parse_source
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BatchRepairEngine",
+    "BatchReport",
     "Clara",
     "Feedback",
     "InputCase",
     "Repair",
+    "RepairCaches",
     "RepairOutcome",
     "RepairStatus",
     "cluster_programs",

@@ -6,17 +6,21 @@ Examples::
     repro-clara table2 --correct 30 --incorrect 15
     repro-clara fig6
     repro-clara repair --problem derivatives --file attempt.py
+    repro-clara batch --problem derivatives --attempts submissions/ \
+        --workers 4 --output report.jsonl
     repro-clara list-problems
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from .core.pipeline import Clara
 from .datasets import all_problems, generate_corpus, get_problem
+from .engine import BatchAttempt, BatchRepairEngine
 from .evalharness import (
     format_failure_breakdown,
     format_table1,
@@ -97,6 +101,91 @@ def _cmd_repair(args: argparse.Namespace) -> int:
     return 0 if outcome.succeeded else 1
 
 
+def _load_attempts(path: Path, language: str) -> list[BatchAttempt]:
+    """Load a batch of attempts from a directory, a JSONL file or one file.
+
+    * directory — every ``*.py`` (or ``*.c`` for C problems) file, sorted by
+      name; the file name becomes the attempt id;
+    * ``*.jsonl`` file — one JSON object per line with a ``source`` field and
+      an optional ``id``;
+    * any other file — a single attempt.
+    """
+    if path.is_dir():
+        pattern = "*.c" if language == "c" else "*.py"
+        return [
+            BatchAttempt(attempt_id=entry.name, source=entry.read_text())
+            for entry in sorted(path.glob(pattern))
+        ]
+    if path.suffix == ".jsonl":
+        attempts: list[BatchAttempt] = []
+        for index, line in enumerate(path.read_text().splitlines()):
+            if not line.strip():
+                continue
+            record = json.loads(line)
+            attempts.append(
+                BatchAttempt(
+                    attempt_id=str(record.get("id", f"attempt-{index}")),
+                    source=record["source"],
+                )
+            )
+        return attempts
+    return [BatchAttempt(attempt_id=path.name, source=path.read_text())]
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    try:
+        spec = get_problem(args.problem)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    try:
+        attempts = _load_attempts(Path(args.attempts), spec.language)
+    except FileNotFoundError:
+        print(f"no such file or directory: {args.attempts}", file=sys.stderr)
+        return 2
+    except (KeyError, json.JSONDecodeError) as exc:
+        print(f"malformed attempts file {args.attempts}: {exc}", file=sys.stderr)
+        return 2
+    if not attempts:
+        print(f"no attempts found at {args.attempts}", file=sys.stderr)
+        return 1
+    corpus = generate_corpus(spec, args.correct, 0, seed=args.seed)
+    clara = Clara(cases=spec.cases, language=spec.language, entry=spec.entry)
+    clara.add_correct_sources(corpus.correct_sources)
+    engine = BatchRepairEngine(clara, workers=args.workers, budget=args.budget)
+    report = engine.run(attempts)
+    if args.output:
+        report.write_jsonl(args.output)
+    else:
+        print(report.to_jsonl(), end="")
+    summary = report.summary()
+    histogram = ", ".join(
+        f"{status}={count}" for status, count in summary["status_histogram"].items()
+    )
+    print(
+        f"batch: {summary['attempts']} attempts in {summary['wall_time']:.2f}s "
+        f"({summary['attempts_per_second']:.2f}/s, {args.workers} workers)",
+        file=sys.stderr,
+    )
+    print(f"statuses: {histogram}", file=sys.stderr)
+    print(
+        "cache: trace {trace_hits}/{trace_total} hits, match {match_hits}/{match_total},"
+        " repair {repair_hits}/{repair_total}".format(
+            trace_hits=summary["cache"]["trace_hits"],
+            trace_total=summary["cache"]["trace_hits"] + summary["cache"]["trace_misses"],
+            match_hits=summary["cache"]["match_hits"],
+            match_total=summary["cache"]["match_hits"] + summary["cache"]["match_misses"],
+            repair_hits=summary["cache"]["repair_hits"],
+            repair_total=summary["cache"]["repair_hits"] + summary["cache"]["repair_misses"],
+        ),
+        file=sys.stderr,
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-clara",
@@ -125,6 +214,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_repair.add_argument("--file", required=True)
     _add_scale_arguments(p_repair)
     p_repair.set_defaults(func=_cmd_repair)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="repair a corpus of attempts concurrently, emit a JSONL report",
+        description="Repair a corpus of attempts concurrently and emit a JSONL "
+        "report (one line per attempt plus a summary trailer). Exit codes: "
+        "0 = report produced (per-attempt statuses, including failures, are "
+        "in the report), 1 = no attempts found, 2 = usage error.",
+    )
+    p_batch.add_argument("--problem", required=True)
+    p_batch.add_argument(
+        "--attempts",
+        required=True,
+        help="directory of attempt files, a JSONL file with {id, source} lines, "
+        "or a single source file",
+    )
+    p_batch.add_argument("--workers", type=int, default=4, help="worker threads")
+    p_batch.add_argument(
+        "--budget", type=float, default=None, help="per-attempt budget in seconds"
+    )
+    p_batch.add_argument(
+        "--output", default=None, help="JSONL report path (default: stdout)"
+    )
+    p_batch.add_argument(
+        "--correct", type=int, default=None, help="correct attempts for clustering"
+    )
+    p_batch.add_argument("--seed", type=int, default=0)
+    p_batch.set_defaults(func=_cmd_batch)
 
     return parser
 

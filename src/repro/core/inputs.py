@@ -18,7 +18,14 @@ from ..model.expr import VAR_STDIN
 from ..model.program import Program
 from ..model.trace import Trace
 
-__all__ = ["InputCase", "run_case", "passes_case", "is_correct", "program_traces"]
+__all__ = [
+    "InputCase",
+    "run_case",
+    "passes_case",
+    "trace_passes_case",
+    "is_correct",
+    "program_traces",
+]
 
 #: Marker meaning "this case does not constrain that observable".
 _UNCONSTRAINED = object()
@@ -80,7 +87,12 @@ def passes_case(
 
 
 def trace_passes_case(trace: Trace, case: InputCase) -> bool:
-    """Check an already computed trace against a case's expectations."""
+    """Check an already computed trace against a case's expectations.
+
+    Separated from :func:`passes_case` so callers holding cached traces
+    (:class:`repro.engine.cache.RepairCaches`) can re-check without
+    re-executing.
+    """
     if trace.aborted:
         return False
     if case.checks_return():
@@ -107,5 +119,9 @@ def program_traces(
     cases: Sequence[InputCase],
     limits: ExecutionLimits | None = None,
 ) -> list[Trace]:
-    """Execute a program on every case (used by matching and repair)."""
+    """Execute a program on every case, returning one trace per case.
+
+    Used by matching, clustering and the engine's trace cache; the returned
+    list is parallel to ``cases``.
+    """
     return [run_case(program, case, limits) for case in cases]

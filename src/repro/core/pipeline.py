@@ -9,21 +9,32 @@ the main public entry point of the library:
     >>> clara.add_correct_sources(correct_sources)
     >>> outcome = clara.repair_source(incorrect_source)
     >>> print(outcome.feedback.text())
+
+Every ``Clara`` owns a :class:`repro.engine.cache.RepairCaches` instance
+through which all correctness checks and structural matches are routed, so
+repeated work — the same attempt resubmitted, the same (attempt, cluster)
+pair matched by the gate check and again by the search — is computed once.
+Single-attempt repair is the batch-size-1 case of
+:class:`repro.engine.batch.BatchRepairEngine`; to repair a whole corpus
+concurrently, hand the configured ``Clara`` to an engine instead of looping
+over ``repair_source``.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..frontend import FrontendError, ParseError, UnsupportedFeatureError, parse_source
 from ..model.program import Program
 from .clustering import Cluster, ClusteringResult, cluster_programs
 from .feedback import Feedback, GENERIC_FEEDBACK_THRESHOLD, generate_feedback
-from .inputs import InputCase, is_correct
-from .matching import structural_match
+from .inputs import InputCase
 from .repair import Repair, find_best_repair
+
+if TYPE_CHECKING:  # pragma: no cover - engine imports core; annotation only
+    from ..engine.cache import RepairCaches
 
 __all__ = ["RepairStatus", "RepairOutcome", "Clara"]
 
@@ -42,7 +53,15 @@ class RepairStatus:
 
 @dataclass
 class RepairOutcome:
-    """Result of attempting to repair one incorrect attempt."""
+    """Result of attempting to repair one incorrect attempt.
+
+    Attributes:
+        status: One of the :class:`RepairStatus` categories.
+        repair: The selected minimal repair (``None`` unless repaired).
+        feedback: Generated feedback (``None`` unless repaired).
+        elapsed: Wall-clock seconds for the whole attempt, parse included.
+        detail: Human-readable failure detail for non-repaired statuses.
+    """
 
     status: str
     repair: Repair | None = None
@@ -65,12 +84,17 @@ class Clara:
         entry: Entry function name (``None`` = first function / ``main``).
         solver: Repair-selection solver, ``"ilp"`` (default) or
             ``"enumerate"``.
-        timeout: Wall-clock budget per repaired attempt, in seconds.
+        timeout: Wall-clock budget per repaired attempt, in seconds; a batch
+            engine may override it per attempt.
         use_cluster_expressions: When ``False``, the repair algorithm only
             draws expressions from the cluster representative instead of the
             whole cluster (the ablation of §2.1's "diversity of repairs").
         generic_threshold: Cost above which feedback becomes a generic
             strategy message.
+        caches: Shared memoization of traces, matches and repairs
+            (:class:`repro.engine.cache.RepairCaches`).  Defaults to a fresh
+            enabled instance; pass ``RepairCaches(enabled=False)`` to measure
+            uncached baselines.
     """
 
     cases: Sequence[InputCase]
@@ -82,6 +106,25 @@ class Clara:
     generic_threshold: float = GENERIC_FEEDBACK_THRESHOLD
     clusters: list[Cluster] = field(default_factory=list)
     clustering_failures: list[tuple[int, str]] = field(default_factory=list)
+    caches: "RepairCaches | None" = None
+    #: Incremented whenever the cluster set changes; part of the repair-memo
+    #: key so cached outcomes never outlive the clustering they came from.
+    _cluster_version: int = field(default=0, init=False, repr=False)
+    #: Identity token distinguishing this pipeline's repair memos when one
+    #: ``RepairCaches`` is shared by several ``Clara`` instances (memo keys
+    #: hold a strong reference, so tokens are never confused even after a
+    #: pipeline is garbage-collected).
+    _memo_token: object = field(
+        default_factory=object, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.caches is None:
+            # Imported lazily: the engine package imports core modules at
+            # module level, so the core must not import it back eagerly.
+            from ..engine.cache import RepairCaches
+
+            self.caches = RepairCaches()
 
     # -- clustering -------------------------------------------------------------
 
@@ -90,13 +133,19 @@ class Clara:
         return parse_source(source, language=self.language, entry=self.entry)
 
     def add_correct_programs(self, programs: Iterable[Program]) -> ClusteringResult:
-        """Cluster correct programs and register the clusters for repair."""
+        """Cluster correct programs and register the clusters for repair.
+
+        Invalidates memoized repair outcomes (the caches key them on the
+        clustering version), but keeps trace and match entries, which stay
+        valid across cluster growth.
+        """
         result = cluster_programs(programs, self.cases)
         offset = len(self.clusters)
         for cluster in result.clusters:
             cluster.cluster_id += offset
         self.clusters.extend(result.clusters)
         self.clustering_failures.extend(result.failures)
+        self._cluster_version += 1
         if not self.use_cluster_expressions:
             for cluster in self.clusters:
                 self._restrict_to_representative(cluster)
@@ -109,6 +158,8 @@ class Clara:
 
         Attempts that fail to parse or that do not actually pass the test
         cases are skipped (MOOC dumps routinely contain mislabelled data).
+        Verification runs through the trace cache, so a program that later
+        shows up as an incorrect attempt is not re-executed.
         """
         programs: list[Program] = []
         for source in sources:
@@ -116,7 +167,7 @@ class Clara:
                 program = self.parse(source)
             except FrontendError:
                 continue
-            if verify and not is_correct(program, self.cases):
+            if verify and not self.caches.is_correct(program, self.cases):
                 continue
             programs.append(program)
         return self.add_correct_programs(programs)
@@ -134,10 +185,25 @@ class Clara:
 
     # -- repair -------------------------------------------------------------------
 
-    def repair_program(self, program: Program) -> RepairOutcome:
-        """Repair an already-parsed incorrect attempt."""
+    def repair_program(
+        self, program: Program, *, budget: float | None = None
+    ) -> RepairOutcome:
+        """Repair an already-parsed incorrect attempt.
+
+        Args:
+            program: The parsed attempt.  Must not be mutated afterwards by
+                the caller (its fingerprint keys the caches).
+            budget: Per-attempt wall-clock budget in seconds, overriding the
+                pipeline-wide ``timeout`` when given.
+
+        The correctness check and the structural gate run through the shared
+        caches; the cluster search itself is memoized on the attempt
+        fingerprint, so a duplicate attempt skips the ILP entirely and only
+        pays for parsing.
+        """
         start = time.perf_counter()
-        if is_correct(program, self.cases):
+        timeout = self.timeout if budget is None else budget
+        if self.caches.is_correct(program, self.cases):
             return RepairOutcome(
                 status=RepairStatus.ALREADY_CORRECT,
                 elapsed=time.perf_counter() - start,
@@ -149,7 +215,7 @@ class Clara:
                 elapsed=time.perf_counter() - start,
             )
         if not any(
-            structural_match(program, cluster.representative) is not None
+            self.caches.structural_match(program, cluster.representative) is not None
             for cluster in self.clusters
         ):
             return RepairOutcome(
@@ -157,32 +223,88 @@ class Clara:
                 detail="no correct solution with the same control flow",
                 elapsed=time.perf_counter() - start,
             )
+        context_key = (
+            self._memo_token,
+            self._cluster_version,
+            self.solver,
+            timeout,
+            self.generic_threshold,
+            # Line numbers and location names flow into feedback text but are
+            # not part of structure_key, so structurally identical attempts
+            # with shifted source positions must not share a memo entry.
+            self._position_key(program),
+        )
+        status, repair, feedback, detail = self.caches.repair_outcome(
+            program,
+            context_key,
+            lambda: self._search_clusters(program, timeout),
+            # A timeout reflects machine load at that moment, not a property
+            # of the attempt; memoizing it would make one slow moment sticky
+            # for every future duplicate.
+            store_if=lambda value: value[0] != RepairStatus.TIMEOUT,
+        )
+        return RepairOutcome(
+            status=status,
+            repair=repair,
+            feedback=feedback,
+            detail=detail,
+            elapsed=time.perf_counter() - start,
+        )
+
+    @staticmethod
+    def _position_key(program: Program) -> tuple:
+        """Source-position signature: (loc_id, line, name) per location."""
+        return tuple(
+            (loc_id, program.locations[loc_id].line, program.locations[loc_id].name)
+            for loc_id in program.location_ids()
+        )
+
+    def _search_clusters(
+        self, program: Program, timeout: float | None
+    ) -> tuple[str, Repair | None, Feedback | None, str]:
+        """Run the cluster search and package the memoizable outcome."""
+        started = time.perf_counter()
         repair = find_best_repair(
             program,
             self.clusters,
             solver=self.solver,
-            timeout=self.timeout,
+            timeout=timeout,
+            match_lookup=self.caches.structural_match,
         )
-        elapsed = time.perf_counter() - start
+        search_elapsed = time.perf_counter() - started
         if repair is None:
             status = (
                 RepairStatus.TIMEOUT
-                if self.timeout is not None and elapsed >= self.timeout
+                if timeout is not None and search_elapsed >= timeout
                 else RepairStatus.NO_REPAIR
             )
-            return RepairOutcome(status=status, elapsed=elapsed)
+            return (status, None, None, "")
         feedback = generate_feedback(
             repair, program, generic_threshold=self.generic_threshold
         )
-        return RepairOutcome(
-            status=RepairStatus.REPAIRED,
-            repair=repair,
-            feedback=feedback,
-            elapsed=elapsed,
-        )
+        return (RepairStatus.REPAIRED, repair, feedback, "")
 
-    def repair_source(self, source: str) -> RepairOutcome:
-        """Parse and repair one incorrect attempt from source text."""
+    def repair_source(self, source: str, *, budget: float | None = None) -> RepairOutcome:
+        """Parse and repair one incorrect attempt from source text.
+
+        Single-attempt repair is the batch-size-1 case of the engine: this
+        delegates to :class:`repro.engine.batch.BatchRepairEngine` with one
+        inline worker, so it shares the exact code path (budgets, caching,
+        accounting) that corpus runs use.
+        """
+        from ..engine.batch import BatchRepairEngine
+
+        engine = BatchRepairEngine(self, workers=1, budget=budget)
+        return engine.run([source]).outcomes[0]
+
+    def _repair_attempt(
+        self, source: str, *, budget: float | None = None
+    ) -> RepairOutcome:
+        """Parse-and-repair primitive invoked by the batch engine.
+
+        ``elapsed`` on the returned outcome covers the whole attempt — parse
+        time included — measured with a single start timestamp.
+        """
         start = time.perf_counter()
         try:
             program = self.parse(source)
@@ -198,8 +320,8 @@ class Clara:
                 detail=str(exc),
                 elapsed=time.perf_counter() - start,
             )
-        outcome = self.repair_program(program)
-        outcome.elapsed += time.perf_counter() - start - outcome.elapsed
+        outcome = self.repair_program(program, budget=budget)
+        outcome.elapsed = time.perf_counter() - start
         return outcome
 
     # -- introspection -----------------------------------------------------------

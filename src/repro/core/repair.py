@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 from ..ilp import IlpProblem, InfeasibleError, solve as ilp_solve
 from ..model.expr import Expr, Var
@@ -461,14 +461,28 @@ def repair_against_cluster(
     *,
     solver: str = "ilp",
     ilp_node_limit: int = 200_000,
+    location_map: Mapping[int, int] | None = None,
 ) -> Repair | None:
     """Repair an implementation against one cluster (Fig. 5).
 
-    Returns ``None`` when the control flow does not match or no consistent
-    repair exists.
+    Args:
+        implementation: The parsed incorrect attempt.
+        cluster: Cluster of correct solutions to draw expressions from.
+        solver: ``"ilp"`` (default) or ``"enumerate"`` (exhaustive
+            cross-check solver).
+        ilp_node_limit: Branch-and-bound node budget for the ILP solver.
+        location_map: Pre-computed structural match (Def. 4.1) between
+            ``implementation`` and the cluster representative, e.g. from
+            :meth:`repro.engine.cache.RepairCaches.structural_match`.  When
+            omitted it is computed here.
+
+    Returns:
+        The cheapest consistent repair, or ``None`` when the control flow
+        does not match or no consistent repair exists.
     """
     start = time.perf_counter()
-    location_map = structural_match(implementation, cluster.representative)
+    if location_map is None:
+        location_map = structural_match(implementation, cluster.representative)
     if location_map is None:
         return None
 
@@ -516,13 +530,33 @@ def find_best_repair(
     solver: str = "ilp",
     timeout: float | None = None,
     max_clusters: int | None = None,
+    match_lookup: Callable[[Program, Program], Mapping[int, int] | None] | None = None,
 ) -> Repair | None:
     """Run the repair algorithm against every cluster and keep the cheapest.
 
     Clusters are visited in decreasing size order (bigger clusters contain
     more expression variety and usually produce the smallest repairs first,
     improving the effect of the timeout).
+
+    Args:
+        implementation: The parsed incorrect attempt.
+        clusters: Candidate clusters of correct solutions.
+        solver: Repair-selection solver, ``"ilp"`` or ``"enumerate"``.
+        timeout: Wall-clock budget in seconds; cluster iteration stops once
+            it is exceeded.
+        max_clusters: Upper bound on the number of (largest) clusters tried.
+        match_lookup: Structural-match provider ``(implementation,
+            representative) -> location map or None``.  The pipeline passes
+            its cache's :meth:`~repro.engine.cache.RepairCaches.structural_match`
+            here so each (attempt, cluster) pair is matched exactly once
+            across the gate check and the search; defaults to computing the
+            match directly.
+
+    Returns:
+        The cheapest repair over all clusters, or ``None``.
     """
+    if match_lookup is None:
+        match_lookup = structural_match
     ordered = sorted(clusters, key=lambda c: -c.size)
     if max_clusters is not None:
         ordered = ordered[:max_clusters]
@@ -531,7 +565,12 @@ def find_best_repair(
     for cluster in ordered:
         if timeout is not None and time.perf_counter() - start > timeout:
             break
-        repair = repair_against_cluster(implementation, cluster, solver=solver)
+        location_map = match_lookup(implementation, cluster.representative)
+        if location_map is None:
+            continue
+        repair = repair_against_cluster(
+            implementation, cluster, solver=solver, location_map=location_map
+        )
         if repair is None:
             continue
         if best is None or repair.cost < best.cost:

@@ -1,0 +1,365 @@
+"""Memoization layer shared by the pipeline and the batch engine.
+
+MOOC dumps are highly redundant: students resubmit unchanged code, copy each
+other, and converge on the same handful of mistakes, so a naive loop over a
+corpus re-executes identical programs and re-matches identical control-flow
+graphs thousands of times.  This module provides :class:`RepairCaches`, one
+object bundling three memo tables that remove that redundancy:
+
+* a **trace/correctness cache** — executions of a program on a case set
+  (Def. 3.5 traces, and the correctness predicate of §1, footnote 1) are
+  keyed on :meth:`repro.model.program.Program.structure_key` plus a
+  canonical key of the case set, so syntactically identical attempts run
+  each test case exactly once across a whole batch;
+* a **structural-match cache** — the location bijection of Def. 4.1 between
+  an attempt and a cluster representative is computed at most once per
+  (attempt, representative) pair, and shared between the pipeline's gate
+  check and the per-cluster search of
+  :func:`repro.core.repair.find_best_repair`;
+* a **repair memo** — the full outcome of the cluster search for an attempt
+  (status, selected :class:`~repro.core.repair.Repair`, feedback) keyed on
+  the attempt fingerprint plus a pipeline-supplied context (pipeline
+  identity, clustering version, budget, source positions), so duplicate
+  attempts skip the ILP entirely; see
+  :meth:`RepairCaches.repair_outcome` for what is deliberately *not*
+  cached.
+
+All tables are guarded by a single lock, making one :class:`RepairCaches`
+instance safe to share across the worker threads of
+:class:`repro.engine.batch.BatchRepairEngine`.  Constructing the caches with
+``enabled=False`` turns every lookup into a miss without storing anything,
+which is how the uncached baseline of ``benchmarks/test_batch_throughput.py``
+is measured.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from dataclasses import dataclass, field
+from typing import Callable, MutableMapping, Sequence
+
+from ..core.inputs import InputCase, program_traces, trace_passes_case
+from ..core.matching import structural_match
+from ..model.program import Program
+from ..model.trace import Trace
+
+__all__ = ["CacheStats", "RepairCaches", "case_set_key", "freeze_key"]
+
+
+def freeze_key(value: object) -> object:
+    """Convert ``value`` into an equivalent hashable form.
+
+    Test-case payloads may contain lists and dicts (e.g. the ``derivatives``
+    problem passes coefficient lists); cache keys must be hashable, so
+    containers are converted recursively: lists/tuples become tuples, sets
+    become sorted tuples, dicts become sorted item tuples.  Scalars pass
+    through unchanged.
+    """
+    if isinstance(value, (list, tuple)):
+        return tuple(freeze_key(item) for item in value)
+    if isinstance(value, set):
+        return tuple(sorted((freeze_key(item) for item in value), key=repr))
+    if isinstance(value, dict):
+        return tuple(
+            (freeze_key(k), freeze_key(v)) for k, v in sorted(value.items(), key=repr)
+        )
+    return value
+
+
+def _case_key(case: InputCase) -> tuple:
+    return (
+        freeze_key(case.args),
+        freeze_key(case.stdin),
+        case.checks_return(),
+        freeze_key(case.expected_return) if case.checks_return() else None,
+        case.checks_output(),
+        freeze_key(case.expected_output) if case.checks_output() else None,
+    )
+
+
+def case_set_key(cases: Sequence[InputCase]) -> tuple:
+    """Return a hashable canonical key for an ordered case set.
+
+    Order matters: traces are cached as a list parallel to ``cases``, so two
+    case sets with the same members in different orders get distinct keys.
+    """
+    return tuple(_case_key(case) for case in cases)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for the three memo tables.
+
+    ``trace`` counts trace/correctness lookups, ``match`` counts
+    structural-match lookups, ``repair`` counts whole-outcome lookups.  A
+    lookup with caching disabled counts as a miss, so hit rates remain
+    comparable between cached and uncached runs.
+    """
+
+    trace_hits: int = 0
+    trace_misses: int = 0
+    match_hits: int = 0
+    match_misses: int = 0
+    repair_hits: int = 0
+    repair_misses: int = 0
+
+    @staticmethod
+    def _rate(hits: int, misses: int) -> float:
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    @property
+    def trace_hit_rate(self) -> float:
+        return self._rate(self.trace_hits, self.trace_misses)
+
+    @property
+    def match_hit_rate(self) -> float:
+        return self._rate(self.match_hits, self.match_misses)
+
+    @property
+    def repair_hit_rate(self) -> float:
+        return self._rate(self.repair_hits, self.repair_misses)
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat dict of all counters and rates, for JSON reports."""
+        return {
+            "trace_hits": self.trace_hits,
+            "trace_misses": self.trace_misses,
+            "trace_hit_rate": self.trace_hit_rate,
+            "match_hits": self.match_hits,
+            "match_misses": self.match_misses,
+            "match_hit_rate": self.match_hit_rate,
+            "repair_hits": self.repair_hits,
+            "repair_misses": self.repair_misses,
+            "repair_hit_rate": self.repair_hit_rate,
+        }
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(
+            trace_hits=self.trace_hits,
+            trace_misses=self.trace_misses,
+            match_hits=self.match_hits,
+            match_misses=self.match_misses,
+            repair_hits=self.repair_hits,
+            repair_misses=self.repair_misses,
+        )
+
+
+@dataclass
+class RepairCaches:
+    """Shared memoization for traces, correctness, matching and repairs.
+
+    Args:
+        enabled: When ``False`` every lookup misses and nothing is stored;
+            computations still run, making this the switch for uncached
+            baselines and for callers that mutate programs in place.
+
+    One instance is owned by each :class:`repro.core.pipeline.Clara` and is
+    shared by every worker thread of a batch run.  All public methods are
+    thread-safe.
+    """
+
+    enabled: bool = True
+    stats: CacheStats = field(default_factory=CacheStats)
+    _lock: threading.Lock = field(default_factory=threading.Lock, init=False, repr=False)
+    _program_keys: MutableMapping[Program, tuple] = field(
+        default_factory=weakref.WeakKeyDictionary, init=False, repr=False
+    )
+    _traces: dict[tuple, list[Trace]] = field(default_factory=dict, init=False, repr=False)
+    _correct: dict[tuple, bool] = field(default_factory=dict, init=False, repr=False)
+    _matches: dict[tuple, dict[int, int] | None] = field(default_factory=dict, init=False, repr=False)
+    _repairs: dict[tuple, tuple] = field(default_factory=dict, init=False, repr=False)
+    #: Single-flight guard: keys whose repair is currently being computed,
+    #: mapped to an event concurrent duplicates wait on.
+    _repair_inflight: dict[tuple, threading.Event] = field(
+        default_factory=dict, init=False, repr=False
+    )
+
+    # -- keys ------------------------------------------------------------------
+
+    def program_key(self, program: Program) -> tuple:
+        """Return ``program.structure_key()``, memoized per program object.
+
+        Programs hash by identity; the memo is a ``WeakKeyDictionary`` so it
+        never outlives the programs themselves — a long-lived engine grading
+        an unbounded submission stream does not pin every parsed attempt in
+        memory.  Callers that mutate a program after keying it must bypass
+        the caches (see ``enabled``).
+        """
+        if not self.enabled:
+            return program.structure_key()
+        with self._lock:
+            key = self._program_keys.get(program)
+            if key is None:
+                key = program.structure_key()
+                self._program_keys[program] = key
+            return key
+
+    # -- traces and correctness -------------------------------------------------
+
+    def traces(self, program: Program, cases: Sequence[InputCase]) -> list[Trace]:
+        """Execute ``program`` on ``cases`` (Def. 3.5), memoized.
+
+        Returns the same list object on a hit; callers must treat it as
+        immutable.  Only default execution limits are supported — callers
+        needing custom :class:`~repro.interpreter.executor.ExecutionLimits`
+        should call :func:`repro.core.inputs.program_traces` directly.
+        """
+        if not self.enabled:
+            with self._lock:
+                self.stats.trace_misses += 1
+            return program_traces(program, cases)
+        key = (self.program_key(program), case_set_key(cases))
+        with self._lock:
+            cached = self._traces.get(key)
+            if cached is not None:
+                self.stats.trace_hits += 1
+                return cached
+            self.stats.trace_misses += 1
+        traces = program_traces(program, cases)
+        with self._lock:
+            self._traces.setdefault(key, traces)
+        return traces
+
+    def is_correct(self, program: Program, cases: Sequence[InputCase]) -> bool:
+        """Correctness predicate (§1, footnote 1) on top of cached traces.
+
+        Equivalent to :func:`repro.core.inputs.is_correct`; on a miss it
+        executes *all* cases (to populate the trace cache) instead of
+        stopping at the first failure.
+        """
+        if not self.enabled:
+            with self._lock:
+                self.stats.trace_misses += 1
+            traces = program_traces(program, cases)
+            return all(
+                trace_passes_case(trace, case) for trace, case in zip(traces, cases)
+            )
+        key = (self.program_key(program), case_set_key(cases))
+        with self._lock:
+            if key in self._correct:
+                self.stats.trace_hits += 1
+                return self._correct[key]
+        traces = self.traces(program, cases)
+        verdict = all(
+            trace_passes_case(trace, case) for trace, case in zip(traces, cases)
+        )
+        with self._lock:
+            self._correct[key] = verdict
+        return verdict
+
+    # -- structural matching ------------------------------------------------------
+
+    def structural_match(self, query: Program, base: Program) -> dict[int, int] | None:
+        """Location bijection of Def. 4.1, memoized per (query, base) pair.
+
+        This is the single entry point used both by the pipeline's
+        "any cluster with the same control flow?" gate and by the repair
+        search, so each (attempt, representative) pair is matched exactly
+        once.  The returned mapping is shared on hits and must not be
+        mutated.
+        """
+        if not self.enabled:
+            with self._lock:
+                self.stats.match_misses += 1
+            return structural_match(query, base)
+        key = (self.program_key(query), self.program_key(base))
+        with self._lock:
+            if key in self._matches:
+                self.stats.match_hits += 1
+                return self._matches[key]
+            self.stats.match_misses += 1
+        result = structural_match(query, base)
+        with self._lock:
+            self._matches.setdefault(key, result)
+        return result
+
+    # -- whole-repair memo ---------------------------------------------------------
+
+    def repair_outcome(
+        self,
+        program: Program,
+        context_key: tuple,
+        compute: Callable[[], tuple],
+        store_if: Callable[[tuple], bool] | None = None,
+    ) -> tuple:
+        """Memoize the cluster-search outcome for one attempt.
+
+        Args:
+            program: The parsed incorrect attempt.
+            context_key: Everything besides the program's structure that
+                determines the result.  The owning pipeline passes its
+                identity token (one cache may serve several pipelines), its
+                clustering version, solver name, budget, feedback threshold
+                and the attempt's source-position signature (line numbers
+                feed into feedback, but are deliberately absent from
+                ``structure_key``).
+            compute: Zero-argument callable producing the value on a miss.
+            store_if: Optional predicate over the computed value; when it
+                returns ``False`` the value is passed through but *not*
+                memoized.  The pipeline uses this to keep load-dependent
+                ``timeout`` outcomes from becoming sticky for all future
+                duplicates of an attempt.
+
+        The cached value is whatever ``compute`` returns (the pipeline stores
+        ``(status, repair, feedback, detail)``); duplicate attempts therefore
+        share ``Repair``/``Feedback`` objects, which are treated as immutable
+        after construction.
+
+        Lookups are *single-flight*: when worker threads hit the same key
+        concurrently, one computes while the rest wait for its result, so a
+        burst of identical submissions costs one ILP solve rather than one
+        per worker.  If the computing thread raises (or declines to store),
+        a waiter takes over.
+        """
+        if not self.enabled:
+            with self._lock:
+                self.stats.repair_misses += 1
+            return compute()
+        key = (self.program_key(program), context_key)
+        while True:
+            with self._lock:
+                if key in self._repairs:
+                    self.stats.repair_hits += 1
+                    return self._repairs[key]
+                event = self._repair_inflight.get(key)
+                if event is None:
+                    event = threading.Event()
+                    self._repair_inflight[key] = event
+                    self.stats.repair_misses += 1
+                    break
+            # Another thread owns the computation; wait, then re-check (the
+            # owner may have failed, in which case this thread takes over).
+            event.wait()
+        try:
+            value = compute()
+            if store_if is None or store_if(value):
+                with self._lock:
+                    self._repairs[key] = value
+            return value
+        finally:
+            with self._lock:
+                self._repair_inflight.pop(key, None)
+            event.set()
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop all cached entries (counters are preserved)."""
+        with self._lock:
+            self._program_keys.clear()
+            self._traces.clear()
+            self._correct.clear()
+            self._matches.clear()
+            self._repairs.clear()
+
+    def entry_counts(self) -> dict[str, int]:
+        """Number of stored entries per table (for reports and debugging)."""
+        with self._lock:
+            return {
+                "traces": len(self._traces),
+                "correct": len(self._correct),
+                "matches": len(self._matches),
+                "repairs": len(self._repairs),
+            }

@@ -164,6 +164,32 @@ class Program:
             for var, expr in self.locations[loc_id].updates.items():
                 yield loc_id, var, expr
 
+    def structure_key(self) -> tuple:
+        """Return a hashable fingerprint of the program model.
+
+        Two programs with equal keys have identical parameters, locations,
+        update functions and successor functions, and therefore identical
+        semantics under the trace semantics of Def. 3.5 — their traces on any
+        input agree step for step.  The engine layer
+        (:mod:`repro.engine.cache`) keys its trace, correctness and
+        structural-match caches on this fingerprint so that syntactically
+        identical attempts (ubiquitous in MOOC dumps, where students resubmit
+        unchanged or copied code) are executed and matched only once.
+
+        The key reflects the program's *current* state and is recomputed on
+        every call; callers that mutate programs (the repair decoder does)
+        must not reuse a previously obtained key.
+        """
+        locations = tuple(
+            (
+                loc_id,
+                tuple(sorted(self.locations[loc_id].updates.items())),
+            )
+            for loc_id in self.location_ids()
+        )
+        successors = tuple(sorted(self._succ.items()))
+        return (tuple(self.params), self.init_loc, locations, successors)
+
     # -- transformations -------------------------------------------------------
 
     def copy(self) -> "Program":

@@ -18,7 +18,7 @@ def test_cli_list_problems(capsys):
 def test_cli_parser_has_all_subcommands():
     parser = build_parser()
     text = parser.format_help()
-    for command in ("table1", "table2", "fig6", "repair", "list-problems"):
+    for command in ("table1", "table2", "fig6", "repair", "batch", "list-problems"):
         assert command in text
 
 
@@ -40,6 +40,71 @@ def test_cli_repair_command(tmp_path, capsys):
     assert code == 0
     assert "status: repaired" in output
     assert "change" in output or "Add" in output
+
+
+def test_cli_batch_command(tmp_path, capsys):
+    import json
+
+    broken = (
+        "def computeDeriv(poly):\n"
+        "    result = []\n"
+        "    for e in range(len(poly)):\n"
+        "        result.append(float(poly[e]*e))\n"
+        "    if result == []:\n"
+        "        return [0.0]\n"
+        "    return result\n"
+    )
+    attempts = tmp_path / "attempts"
+    attempts.mkdir()
+    (attempts / "alice.py").write_text(broken)
+    (attempts / "bob.py").write_text(broken)  # duplicate submission
+    # A third duplicate guarantees a trace-cache hit even when the first two
+    # race on the 2-worker pool and both miss concurrently.
+    (attempts / "carol.py").write_text(broken)
+    report_path = tmp_path / "report.jsonl"
+
+    code = main(
+        [
+            "batch",
+            "--problem",
+            "derivatives",
+            "--attempts",
+            str(attempts),
+            "--correct",
+            "6",
+            "--workers",
+            "2",
+            "--output",
+            str(report_path),
+        ]
+    )
+    assert code == 0
+    lines = [json.loads(line) for line in report_path.read_text().splitlines()]
+    assert len(lines) == 4  # three records + summary trailer
+    assert [line["attempt_id"] for line in lines[:3]] == [
+        "alice.py",
+        "bob.py",
+        "carol.py",
+    ]
+    assert all(line["status"] == "repaired" for line in lines[:3])
+    summary = lines[3]["summary"]
+    assert summary["attempts"] == 3
+    assert summary["cache"]["trace_hits"] >= 1  # a duplicate hit the cache
+
+
+def test_cli_batch_reads_jsonl(tmp_path, capsys):
+    import json
+
+    source = "def computeDeriv(poly):\n    return poly\n"
+    attempts = tmp_path / "attempts.jsonl"
+    attempts.write_text(json.dumps({"id": "s1", "source": source}) + "\n")
+    code = main(
+        ["batch", "--problem", "derivatives", "--attempts", str(attempts), "--correct", "4"]
+    )
+    assert code == 0
+    stdout = capsys.readouterr().out
+    first = json.loads(stdout.splitlines()[0])
+    assert first["attempt_id"] == "s1"
 
 
 def test_cli_requires_command():
