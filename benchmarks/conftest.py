@@ -36,8 +36,21 @@ RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 @pytest.fixture(scope="session")
 def results_dir() -> Path:
+    """Committed artifacts: deterministic, machine-independent metrics only.
+
+    Wall-clock timings churn on every machine and load level, so they are
+    never written here — see :func:`local_results_dir`.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def local_results_dir() -> Path:
+    """Local-only (gitignored) report directory for wall-clock timings."""
+    local = RESULTS_DIR / "local"
+    local.mkdir(parents=True, exist_ok=True)
+    return local
 
 
 @pytest.fixture(scope="session")

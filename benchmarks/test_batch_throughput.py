@@ -10,10 +10,12 @@ code, the common case in MOOC dumps) through two configurations:
   workers sharing a :class:`repro.engine.cache.RepairCaches`.
 
 Statuses must be identical between the two; the engine must record trace
-cache hits and at least 1.5× the baseline throughput.  The measured numbers
-are written to ``results/batch_throughput.json``.  The benchmarked unit is a
-warm engine run (all caches populated), i.e. the steady-state cost of
-re-grading a corpus.
+cache hits and at least 1.5× the baseline throughput.  Deterministic metrics
+(status histogram, cache hit rates) are committed to
+``results/batch_throughput.json``; machine-dependent wall-clock numbers go to
+the gitignored ``results/local/batch_throughput_timings.json``.  The
+benchmarked unit is a warm engine run (all caches populated), i.e. the
+steady-state cost of re-grading a corpus.
 """
 
 from __future__ import annotations
@@ -54,7 +56,7 @@ def _measure(problem, corpus, sources):
     return sequential_outcomes, sequential_time, engine, report
 
 
-def test_batch_throughput(benchmark, results_dir):
+def test_batch_throughput(benchmark, results_dir, local_results_dir):
     problem = get_problem("derivatives")
     corpus = generate_corpus(problem, 12, 6, seed=2018)
     sources = list(corpus.incorrect_sources) * DUPLICATION
@@ -80,12 +82,29 @@ def test_batch_throughput(benchmark, results_dir):
     assert report.cache_stats.trace_hits > 0
     assert report.cache_stats.repair_hits > 0
 
+    # Committed artifact: load-insensitive metrics only, so the file is
+    # byte-identical across machines and runs.  Cache counters from the
+    # 4-worker run depend on thread scheduling (two concurrent duplicates of
+    # a not-yet-cached attempt both miss), so the committed counters come
+    # from a single-worker run where each unique attempt misses exactly once.
+    single = BatchRepairEngine(_build_clara(problem, corpus, cached=True), workers=1)
+    single_report = single.run(sources)
+    assert single_report.status_histogram() == report.status_histogram()
     payload = {
         "problem": problem.name,
         "attempts": len(sources),
         "unique_attempts": len(corpus.incorrect_sources),
         "duplication": DUPLICATION,
         "workers": engine.workers,
+        "speedup_threshold": 1.5,
+        "status_histogram": report.status_histogram(),
+        "cache_workers": 1,
+        "cache": single_report.cache_stats.as_dict(),
+    }
+    (results_dir / "batch_throughput.json").write_text(json.dumps(payload, indent=2) + "\n")
+
+    # Wall-clock numbers churn with machine load; keep them local-only.
+    timings = {
         "sequential_time": round(sequential_time, 4),
         "sequential_attempts_per_second": round(len(sources) / sequential_time, 3),
         "batch_time": round(report.wall_time, 4),
@@ -93,11 +112,12 @@ def test_batch_throughput(benchmark, results_dir):
         "speedup": round(speedup, 3),
         "p50_latency": round(report.p50_latency, 5),
         "p95_latency": round(report.p95_latency, 5),
-        "status_histogram": report.status_histogram(),
-        "cache": report.cache_stats.as_dict(),
+        "workers_4_cache": report.cache_stats.as_dict(),
     }
-    (results_dir / "batch_throughput.json").write_text(json.dumps(payload, indent=2) + "\n")
-    print("\n" + json.dumps(payload, indent=2))
+    (local_results_dir / "batch_throughput_timings.json").write_text(
+        json.dumps(timings, indent=2) + "\n"
+    )
+    print("\n" + json.dumps({**payload, **timings}, indent=2))
 
     assert speedup >= 1.5, f"batch speedup {speedup:.2f}x below 1.5x"
 

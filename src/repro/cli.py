@@ -122,6 +122,10 @@ def _load_attempts(path: Path, language: str) -> list[BatchAttempt]:
             if not line.strip():
                 continue
             record = json.loads(line)
+            if not isinstance(record, dict) or not isinstance(record.get("source"), str):
+                raise ValueError(
+                    f"line {index + 1}: expected an object with a string 'source' field"
+                )
             attempts.append(
                 BatchAttempt(
                     attempt_id=str(record.get("id", f"attempt-{index}")),
@@ -146,7 +150,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     except FileNotFoundError:
         print(f"no such file or directory: {args.attempts}", file=sys.stderr)
         return 2
-    except (KeyError, json.JSONDecodeError) as exc:
+    except ValueError as exc:
+        # json.JSONDecodeError is a ValueError subclass.
         print(f"malformed attempts file {args.attempts}: {exc}", file=sys.stderr)
         return 2
     if not attempts:

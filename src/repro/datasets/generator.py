@@ -11,6 +11,7 @@ Generation is fully deterministic given the seed.
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -99,7 +100,10 @@ def generate_corpus(
     scale_correct, scale_incorrect = default_scale()
     n_correct = scale_correct if n_correct is None else n_correct
     n_incorrect = scale_incorrect if n_incorrect is None else n_incorrect
-    rng = random.Random(seed * 7919 + hash(problem.name) % 1000)
+    # Mix the problem name in via a *stable* hash: ``hash(str)`` is salted
+    # per-process (PYTHONHASHSEED), which would make corpora — and every
+    # committed results/ artifact derived from them — irreproducible.
+    rng = random.Random(seed * 7919 + zlib.crc32(problem.name.encode("utf-8")) % 1000)
     corpus = Corpus(problem=problem)
 
     # -- correct pool --------------------------------------------------------

@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from typing import Callable, MutableMapping, Sequence
 
 from ..core.inputs import InputCase, program_traces, trace_passes_case
+from ..core.inputs import is_correct as _is_correct_uncached
 from ..core.matching import structural_match
 from ..model.program import Program
 from ..model.trace import Trace
@@ -191,10 +192,14 @@ class RepairCaches:
             return program.structure_key()
         with self._lock:
             key = self._program_keys.get(program)
-            if key is None:
-                key = program.structure_key()
-                self._program_keys[program] = key
-            return key
+        if key is None:
+            # Fingerprinting walks the whole program; doing it outside the
+            # lock keeps other workers from serializing on it.  A racing
+            # duplicate computation is benign: setdefault keeps one winner.
+            key = program.structure_key()
+            with self._lock:
+                key = self._program_keys.setdefault(program, key)
+        return key
 
     # -- traces and correctness -------------------------------------------------
 
@@ -232,10 +237,9 @@ class RepairCaches:
         if not self.enabled:
             with self._lock:
                 self.stats.trace_misses += 1
-            traces = program_traces(program, cases)
-            return all(
-                trace_passes_case(trace, case) for trace, case in zip(traces, cases)
-            )
+            # No trace cache to populate, so use the short-circuiting core
+            # predicate — the pre-engine behaviour uncached baselines reproduce.
+            return _is_correct_uncached(program, cases)
         key = (self.program_key(program), case_set_key(cases))
         with self._lock:
             if key in self._correct:

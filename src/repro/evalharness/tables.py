@@ -14,14 +14,29 @@ def _fmt_pct(value: float) -> str:
     return f"{100 * value:.2f}%"
 
 
-def format_table1(results: Sequence[ProblemResult], *, with_autograder: bool = True) -> str:
-    """Render Table 1: per-problem repair counts, rates and times."""
-    header = (
-        f"{'problem':<20} {'LOC':>4} {'AST':>4} {'#corr':>6} {'#clust':>7} "
-        f"{'#incorr':>8} {'Clara rep':>12} {'Clara %':>9} {'avg(med) s':>12}"
-    )
+def format_table1(
+    results: Sequence[ProblemResult],
+    *,
+    with_autograder: bool = True,
+    with_times: bool = True,
+) -> str:
+    """Render Table 1: per-problem repair counts, rates and times.
+
+    Args:
+        results: One :class:`ProblemResult` per MOOC problem.
+        with_autograder: Include the AutoGrader-baseline columns.
+        with_times: Include wall-clock columns (``avg(med) s``, ``AG avg s``).
+            Committed ``results/`` artifacts are rendered with
+            ``with_times=False`` so they stay byte-stable across machines;
+            the timed variant goes to the local-only report.
+    """
+    header = f"{'problem':<20} {'LOC':>4} {'AST':>4} {'#corr':>6} {'#clust':>7} " f"{'#incorr':>8} {'Clara rep':>12} {'Clara %':>9}"
+    if with_times:
+        header += f" {'avg(med) s':>12}"
     if with_autograder:
-        header += f" {'AG rep':>7} {'AG %':>8} {'AG avg s':>9}"
+        header += f" {'AG rep':>7} {'AG %':>8}"
+        if with_times:
+            header += f" {'AG avg s':>9}"
     lines = [header, "-" * len(header)]
 
     totals = {
@@ -37,15 +52,17 @@ def format_table1(results: Sequence[ProblemResult], *, with_autograder: bool = T
         row = (
             f"{result.problem:<20} {result.loc_median:>4.0f} {result.ast_size_median:>4.0f} "
             f"{result.n_correct:>6} {result.n_clusters:>7} {result.n_incorrect:>8} "
-            f"{result.n_repaired:>12} {_fmt_pct(result.repair_rate):>9} "
-            f"{result.avg_time:>6.2f}({result.median_time:.2f})"
+            f"{result.n_repaired:>12} {_fmt_pct(result.repair_rate):>9}"
         )
+        if with_times:
+            row += f" {result.avg_time:>6.2f}({result.median_time:.2f})"
         if with_autograder:
             row += (
                 f" {result.n_autograder_repaired:>7} "
-                f"{_fmt_pct(result.autograder_repair_rate):>8} "
-                f"{result.avg_autograder_time:>9.2f}"
+                f"{_fmt_pct(result.autograder_repair_rate):>8}"
             )
+            if with_times:
+                row += f" {result.avg_autograder_time:>9.2f}"
         lines.append(row)
         totals["correct"] += result.n_correct
         totals["clusters"] += result.n_clusters
@@ -65,11 +82,14 @@ def format_table1(results: Sequence[ProblemResult], *, with_autograder: bool = T
     avg_ag = sum(totals["ag_times"]) / len(totals["ag_times"]) if totals["ag_times"] else 0.0
     total_row = (
         f"{'Total':<20} {'':>4} {'':>4} {totals['correct']:>6} {totals['clusters']:>7} "
-        f"{totals['incorrect']:>8} {totals['repaired']:>12} {_fmt_pct(total_rate):>9} "
-        f"{avg_time:>6.2f}(-)  "
+        f"{totals['incorrect']:>8} {totals['repaired']:>12} {_fmt_pct(total_rate):>9}"
     )
+    if with_times:
+        total_row += f" {avg_time:>6.2f}(-)  "
     if with_autograder:
-        total_row += f" {totals['ag_repaired']:>7} {_fmt_pct(ag_rate):>8} {avg_ag:>9.2f}"
+        total_row += f" {totals['ag_repaired']:>7} {_fmt_pct(ag_rate):>8}"
+        if with_times:
+            total_row += f" {avg_ag:>9.2f}"
     lines.append("-" * len(header))
     lines.append(total_row)
     return "\n".join(lines)
@@ -89,23 +109,36 @@ def format_failure_breakdown(results: Sequence[ProblemResult]) -> str:
     return "\n".join(lines)
 
 
-def format_table2(results: Sequence[UserStudyProblemResult]) -> str:
-    """Render Table 2: the user-study summary."""
+def format_table2(
+    results: Sequence[UserStudyProblemResult], *, with_times: bool = True
+) -> str:
+    """Render Table 2: the user-study summary.
+
+    Args:
+        results: One :class:`UserStudyProblemResult` per C problem.
+        with_times: Include the wall-clock ``avg s`` / ``med s`` columns.
+            Committed ``results/`` artifacts use ``with_times=False``; see
+            :func:`format_table1`.
+    """
     header = (
         f"{'problem':<20} {'#corr':>6} {'#clust':>7} {'#incorr':>8} "
-        f"{'#feedback':>10} {'fb %':>8} {'#repair-fb':>11} {'rep-fb %':>9} "
-        f"{'avg s':>7} {'med s':>7}  {'grades 1/2/3/4/5':>18}"
+        f"{'#feedback':>10} {'fb %':>8} {'#repair-fb':>11} {'rep-fb %':>9}"
     )
+    if with_times:
+        header += f" {'avg s':>7} {'med s':>7}"
+    header += f"  {'grades 1/2/3/4/5':>18}"
     lines = [header, "-" * len(header)]
     for result in results:
         grades = "/".join(str(result.grade_histogram.get(g, 0)) for g in range(1, 6))
-        lines.append(
+        row = (
             f"{result.problem:<20} {result.n_correct:>6} {result.n_clusters:>7} "
             f"{result.n_incorrect:>8} {result.n_feedback:>10} "
             f"{_fmt_pct(result.feedback_rate):>8} {result.n_repair_feedback:>11} "
-            f"{_fmt_pct(result.repair_feedback_rate):>9} "
-            f"{result.avg_time:>7.2f} {result.median_time:>7.2f}  {grades:>18}"
+            f"{_fmt_pct(result.repair_feedback_rate):>9}"
         )
+        if with_times:
+            row += f" {result.avg_time:>7.2f} {result.median_time:>7.2f}"
+        lines.append(row + f"  {grades:>18}")
     avg_grade = _average_grade(results)
     lines.append("-" * len(header))
     lines.append(f"average usefulness grade over all problems: {avg_grade:.2f} (paper: 3.4)")

@@ -117,6 +117,43 @@ def test_generate_corpus_counts_and_determinism():
     assert corpus_c.incorrect_sources != corpus_a.incorrect_sources
 
 
+def test_generate_corpus_deterministic_across_processes():
+    """Corpora must not depend on the per-process hash salt (PYTHONHASHSEED).
+
+    Regression test: seeding the corpus RNG with ``hash(problem.name)`` made
+    every committed results/ artifact irreproducible because str hashing is
+    salted per interpreter process.
+    """
+    import hashlib
+    import os
+    import subprocess
+    import sys
+
+    script = (
+        "import hashlib\n"
+        "from repro.datasets import generate_corpus\n"
+        "c = generate_corpus('oddTuples', 6, 4, seed=42)\n"
+        "blob = '\\x00'.join(c.correct_sources + c.incorrect_sources)\n"
+        "print(hashlib.sha256(blob.encode()).hexdigest())\n"
+    )
+    digests = set()
+    for hash_seed in ("1", "2"):
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+        env["PYTHONPATH"] = os.pathsep.join(sys.path)
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            env=env,
+        )
+        digests.add(out.stdout.strip())
+    corpus = generate_corpus("oddTuples", 6, 4, seed=42)
+    blob = "\x00".join(corpus.correct_sources + corpus.incorrect_sources)
+    digests.add(hashlib.sha256(blob.encode()).hexdigest())
+    assert len(digests) == 1, "corpus varies with the process hash salt"
+
+
 def test_generate_corpus_correct_pool_verified():
     corpus = generate_corpus("fibonacci", 8, 4, seed=1)
     spec = get_problem("fibonacci")

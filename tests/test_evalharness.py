@@ -86,6 +86,16 @@ def test_table_and_figure_rendering(small_result):
     assert "demo" in chart and "####" in chart
 
 
+def test_tables_without_times_omit_wallclock_columns(small_result):
+    table1 = format_table1([small_result], with_times=False)
+    assert "avg(med) s" not in table1 and "AG avg s" not in table1
+    assert "derivatives" in table1 and "Total" in table1
+    rows = run_user_study(n_correct=6, n_incorrect=4, seed=5, problems=["special_number"])
+    table2 = format_table2(rows, with_times=False)
+    assert "avg s" not in table2 and "med s" not in table2
+    assert "special_number" in table2
+
+
 def test_failure_breakdown_counts():
     result = ProblemResult(
         problem="x", n_correct=1, n_clusters=1, n_incorrect=3, clustering_time=0.0
