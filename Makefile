@@ -17,7 +17,7 @@ lint:
 	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks examples; \
 	else \
-		echo "ruff not installed; bytecode compile check only"; \
+		echo "ruff not installed; bytecode compile check only (CI runs ruff)"; \
 	fi
 
 clean:

@@ -6,8 +6,11 @@ Examples::
     repro-clara table2 --correct 30 --incorrect 15
     repro-clara fig6
     repro-clara repair --problem derivatives --file attempt.py
+    repro-clara cluster build --problem derivatives --correct 60 \
+        --output clusters.json
+    repro-clara cluster info clusters.json
     repro-clara batch --problem derivatives --attempts submissions/ \
-        --workers 4 --output report.jsonl
+        --clusters clusters.json --workers 4 --output report.jsonl
     repro-clara list-problems
 """
 
@@ -18,6 +21,7 @@ import json
 import sys
 from pathlib import Path
 
+from .clusterstore import ClusterStoreError, load_clusters
 from .core.pipeline import Clara
 from .datasets import all_problems, generate_corpus, get_problem
 from .engine import BatchAttempt, BatchRepairEngine
@@ -136,6 +140,64 @@ def _load_attempts(path: Path, language: str) -> list[BatchAttempt]:
     return [BatchAttempt(attempt_id=path.name, source=path.read_text())]
 
 
+def _cmd_cluster_build(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    try:
+        spec = get_problem(args.problem)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    corpus = generate_corpus(spec, args.correct, 0, seed=args.seed)
+    clara = Clara(
+        cases=spec.cases,
+        language=spec.language,
+        entry=spec.entry,
+        cluster_workers=args.workers,
+    )
+    result = clara.add_correct_sources(corpus.correct_sources)
+    try:
+        path = clara.save_clusters(args.output, problem=spec.name)
+    except OSError as exc:
+        print(f"cannot write cluster store {args.output}: {exc}", file=sys.stderr)
+        return 2
+    stats = result.stats
+    print(
+        f"built {clara.cluster_count} clusters from {stats.programs} correct "
+        f"solutions ({stats.buckets} fingerprint buckets, "
+        f"{stats.full_matches} full matches) -> {path}",
+        file=sys.stderr,
+    )
+    for index, reason in result.failures:
+        print(f"  failed to cluster correct[{index}]: {reason}", file=sys.stderr)
+    return 0
+
+
+def _cmd_cluster_info(args: argparse.Namespace) -> int:
+    try:
+        stored = load_clusters(args.store, check_cases=False)
+    except ClusterStoreError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(f"cluster store: {args.store}")
+    print(f"format version: {stored.format_version}")
+    print(f"problem:        {stored.problem or '(unknown)'}")
+    print(f"language:       {stored.language}")
+    print(f"case signature: {stored.case_signature[:16]}…")
+    print(f"clusters:       {stored.cluster_count}")
+    print(f"members:        {stored.total_members()}")
+    for cluster in stored.clusters:
+        pools = len(cluster.expressions)
+        pool_exprs = sum(len(pool) for pool in cluster.expressions.values())
+        fingerprint = (cluster.fingerprint_digest or "")[:12] or "-"
+        print(
+            f"  cluster {cluster.cluster_id}: size={cluster.size} "
+            f"pools={pools} expressions={pool_exprs} fingerprint={fingerprint}"
+        )
+    return 0
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
@@ -157,10 +219,19 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if not attempts:
         print(f"no attempts found at {args.attempts}", file=sys.stderr)
         return 1
-    corpus = generate_corpus(spec, args.correct, 0, seed=args.seed)
     clara = Clara(cases=spec.cases, language=spec.language, entry=spec.entry)
-    clara.add_correct_sources(corpus.correct_sources)
-    engine = BatchRepairEngine(clara, workers=args.workers, budget=args.budget)
+    if args.clusters:
+        try:
+            engine = BatchRepairEngine.from_store(
+                args.clusters, clara, workers=args.workers, budget=args.budget
+            )
+        except ClusterStoreError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    else:
+        corpus = generate_corpus(spec, args.correct, 0, seed=args.seed)
+        clara.add_correct_sources(corpus.correct_sources)
+        engine = BatchRepairEngine(clara, workers=args.workers, budget=args.budget)
     report = engine.run(attempts)
     if args.output:
         report.write_jsonl(args.output)
@@ -220,6 +291,39 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_arguments(p_repair)
     p_repair.set_defaults(func=_cmd_repair)
 
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="build, persist and inspect cluster stores",
+        description="Cluster a correct pool once and persist it, so batch "
+        "runs skip re-clustering (see 'batch --clusters').",
+    )
+    cluster_sub = p_cluster.add_subparsers(dest="cluster_command", required=True)
+
+    p_cluster_build = cluster_sub.add_parser(
+        "build", help="cluster a generated correct pool and save the store"
+    )
+    p_cluster_build.add_argument("--problem", required=True)
+    p_cluster_build.add_argument(
+        "--output", required=True, help="cluster store path (JSON)"
+    )
+    p_cluster_build.add_argument(
+        "--correct", type=int, default=None, help="correct attempts to cluster"
+    )
+    p_cluster_build.add_argument("--seed", type=int, default=0)
+    p_cluster_build.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="threads clustering fingerprint buckets concurrently",
+    )
+    p_cluster_build.set_defaults(func=_cmd_cluster_build)
+
+    p_cluster_info = cluster_sub.add_parser(
+        "info", help="print metadata and per-cluster statistics of a store"
+    )
+    p_cluster_info.add_argument("store", help="cluster store file")
+    p_cluster_info.set_defaults(func=_cmd_cluster_info)
+
     p_batch = sub.add_parser(
         "batch",
         help="repair a corpus of attempts concurrently, emit a JSONL report",
@@ -244,6 +348,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_batch.add_argument(
         "--correct", type=int, default=None, help="correct attempts for clustering"
+    )
+    p_batch.add_argument(
+        "--clusters",
+        default=None,
+        help="load clusters from a store built by 'cluster build' instead of "
+        "re-clustering a generated pool (--correct/--seed are ignored)",
     )
     p_batch.add_argument("--seed", type=int, default=0)
     p_batch.set_defaults(func=_cmd_batch)

@@ -1,0 +1,54 @@
+"""Persistent, index-driven clustering (the "build once, serve many" layer).
+
+The core (:mod:`repro.core.clustering`) computes the equivalence classes of
+``∼_I``; this package makes that computation scale and survive process
+restarts:
+
+* :mod:`repro.clusterstore.fingerprint` — matching-invariant program
+  fingerprints used to prune full-match candidates and to shard the cluster
+  build across workers;
+* :mod:`repro.clusterstore.serialize` — JSON encoding of expressions,
+  programs and clusters (expression pools with provenance included);
+* :mod:`repro.clusterstore.store` — versioned on-disk cluster stores:
+  :func:`save_clusters` / :func:`load_clusters` plus the
+  ``repro-clara cluster build`` / ``cluster info`` CLI surface.
+
+Import layering: ``fingerprint`` sits *below* the core (only model/matching
+helpers), because ``core.clustering`` consults it; ``store`` sits *above*
+the core (it serializes ``Cluster`` objects).  The store symbols are
+exported lazily so importing the fingerprint from the core never drags the
+store — and with it the core itself — into a cycle.
+"""
+
+from __future__ import annotations
+
+from .fingerprint import Fingerprint, canonical_value, program_fingerprint
+
+__all__ = [
+    "Fingerprint",
+    "canonical_value",
+    "program_fingerprint",
+    "ClusterStoreError",
+    "FORMAT_VERSION",
+    "StoredClustering",
+    "case_signature",
+    "load_clusters",
+    "save_clusters",
+]
+
+_STORE_EXPORTS = {
+    "ClusterStoreError",
+    "FORMAT_VERSION",
+    "StoredClustering",
+    "case_signature",
+    "load_clusters",
+    "save_clusters",
+}
+
+
+def __getattr__(name: str):
+    if name in _STORE_EXPORTS:
+        from . import store
+
+        return getattr(store, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

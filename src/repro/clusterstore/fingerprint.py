@@ -1,0 +1,136 @@
+"""Structural fingerprints for candidate pruning (generalizing
+:meth:`repro.model.program.Program.structure_key`).
+
+Clustering (Def. 4.7) places each correct program by attempting the full
+dynamic-matching procedure of Fig. 4 against existing cluster
+representatives — an expensive check involving per-variable trace
+projections and bipartite matching.  A *fingerprint* is a cheap hashable
+summary that is **invariant under matching**: whenever ``find_matching(p, q)``
+succeeds, ``program_fingerprint(p, …) == program_fingerprint(q, …)``.
+Indexing clusters by fingerprint therefore prunes candidates soundly — a
+program only needs full matches against representatives in its own bucket,
+and the resulting clustering is *identical* to the exhaustive one.
+
+A fingerprint combines three components, each a necessary condition checked
+by :func:`repro.core.matching.find_matching`:
+
+* the **control-flow skeleton** (:meth:`Program.cfg_skeleton`) — canonical
+  CFG shape; equal skeletons are exactly Def. 4.1 structural matchability
+  for fully reachable programs;
+* the **variable-arity signature** — the number of variables participating
+  in the bijective relation (a total bijection needs equal counts).  Note a
+  deliberately *global* count: per-location update arity is **not**
+  invariant under dynamic matching (an explicit identity update or a
+  runtime no-op assignment changes where updates sit without changing any
+  trace), so finer per-location arities would split clusters that the
+  exhaustive procedure merges;
+* the **output-trace signature** — per test case, the canonicalized
+  control-flow path (location sequence over canonical indices, which *is*
+  per-location step-count information), the aborted flag, and the
+  projections of the fixed special variables (``$cond``, ``$ret``,
+  ``$out``, ``$retflag``, ``$stdin``), which matching requires to agree
+  verbatim.
+
+Trace values are canonicalized shape-only by :func:`canonical_value`:
+:func:`repro.interpreter.values.values_equal` compares numbers with a float
+tolerance (and ``1 == 1.0`` across int/float), which admits no exact
+canonical form, so all non-bool numbers collapse to a single marker while
+booleans, strings, ``None``, ``UNDEF`` and sequence shapes stay exact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Sequence
+
+from ..core.matching import FIXED_VARS, variables_for_matching
+from ..model.program import Program
+from ..model.trace import Trace, project
+from ..interpreter.values import is_undef
+
+__all__ = ["Fingerprint", "program_fingerprint", "canonical_value"]
+
+#: Marker to which every non-bool number canonicalizes (see module docstring).
+_NUMBER = "num"
+
+
+def canonical_value(value: object) -> object:
+    """Collapse a trace value to a hashable form respecting ``values_equal``.
+
+    Guarantees ``values_equal(a, b)`` implies
+    ``canonical_value(a) == canonical_value(b)`` — the property that makes
+    fingerprint pruning sound.  The converse deliberately does not hold
+    (all numbers share one marker); false bucket collisions only cost a
+    full match attempt, never a wrong cluster.
+    """
+    if is_undef(value):
+        return "undef"
+    if isinstance(value, bool):
+        return ("bool", value)
+    if isinstance(value, (int, float)):
+        return _NUMBER
+    if isinstance(value, str):
+        return ("str", value)
+    if value is None:
+        return "none"
+    if isinstance(value, list):
+        return ("list", tuple(canonical_value(item) for item in value))
+    if isinstance(value, tuple):
+        return ("tuple", tuple(canonical_value(item) for item in value))
+    # Unknown domain values compare by type identity plus ``==``; only the
+    # type name is stable enough to hash without risking a false split.
+    return ("other", type(value).__name__)
+
+
+class Fingerprint:
+    """A hashable matching-invariant key with a stable hex digest.
+
+    Instances compare and hash by their canonical component tuple; the
+    :attr:`digest` (sha-256 of a canonical repr) is what the cluster store
+    persists and ``cluster info`` displays.
+    """
+
+    __slots__ = ("key", "_digest")
+
+    def __init__(self, key: tuple) -> None:
+        self.key = key
+        self._digest: str | None = None
+
+    @property
+    def digest(self) -> str:
+        if self._digest is None:
+            self._digest = hashlib.sha256(repr(self.key).encode()).hexdigest()
+        return self._digest
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Fingerprint) and other.key == self.key
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<Fingerprint {self.digest[:12]}>"
+
+
+def program_fingerprint(program: Program, traces: Sequence[Trace]) -> Fingerprint:
+    """Fingerprint a program from its already-computed traces.
+
+    ``traces`` must be the program's traces on the clustering case set (one
+    per case, as produced by :func:`repro.core.inputs.program_traces` or the
+    engine's trace cache); fingerprinting re-uses them rather than
+    re-executing, so its cost is a linear pass over the trace data.
+    """
+    order, skeleton = program.cfg_skeleton()
+    canon_index = {loc_id: index for index, loc_id in enumerate(order)}
+    arity = len(variables_for_matching(program))
+    trace_signature = []
+    for trace in traces:
+        path = tuple(
+            canon_index.get(loc_id, -1) for loc_id in trace.location_sequence
+        )
+        fixed = tuple(
+            tuple(canonical_value(value) for value in project(trace, var))
+            for var in sorted(FIXED_VARS)
+        )
+        trace_signature.append((path, trace.aborted, fixed))
+    return Fingerprint((skeleton, arity, tuple(trace_signature)))

@@ -1,0 +1,201 @@
+"""JSON encoding of expressions, programs and clusters.
+
+The cluster store persists full :class:`~repro.core.clustering.Cluster`
+objects — representative, members, expression pools with provenance — so a
+loaded clustering repairs attempts *identically* to the in-process one.
+Everything round-trips exactly:
+
+* ``Const`` values distinguish ``list`` from ``tuple`` and ``bool`` from
+  ``int`` (both distinctions matter to :func:`values_equal` and to
+  expression equality), so containers are tagged rather than mapped to bare
+  JSON arrays;
+* update dictionaries and expression pools keep insertion order (serialized
+  as pair lists), because pool order feeds candidate generation order;
+* location names and line numbers survive (feedback text depends on them).
+"""
+
+from __future__ import annotations
+
+from ..core.clustering import Cluster, ClusterExpression
+from ..model.expr import Const, Expr, Op, Var
+from ..model.program import Program
+
+__all__ = [
+    "SerializationError",
+    "encode_value",
+    "decode_value",
+    "encode_expr",
+    "decode_expr",
+    "encode_program",
+    "decode_program",
+    "encode_cluster",
+    "decode_cluster",
+]
+
+
+class SerializationError(ValueError):
+    """Raised when a payload cannot be encoded or decoded."""
+
+
+# -- constant values -----------------------------------------------------------
+
+
+def encode_value(value: object) -> object:
+    """Encode a ``Const`` payload (Def. 3.1's literal domain) as JSON data."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return {"k": "scalar", "v": value}
+    if isinstance(value, list):
+        return {"k": "list", "items": [encode_value(item) for item in value]}
+    if isinstance(value, tuple):
+        return {"k": "tuple", "items": [encode_value(item) for item in value]}
+    raise SerializationError(f"unsupported constant value: {value!r}")
+
+
+def decode_value(data: object) -> object:
+    if not isinstance(data, dict) or "k" not in data:
+        raise SerializationError(f"malformed value payload: {data!r}")
+    kind = data["k"]
+    if kind == "scalar":
+        return data["v"]
+    if kind == "list":
+        return [decode_value(item) for item in data["items"]]
+    if kind == "tuple":
+        return tuple(decode_value(item) for item in data["items"])
+    raise SerializationError(f"unknown value kind: {kind!r}")
+
+
+# -- expressions ---------------------------------------------------------------
+
+
+def encode_expr(expr: Expr) -> object:
+    if isinstance(expr, Var):
+        return {"e": "var", "name": expr.name}
+    if isinstance(expr, Const):
+        return {"e": "const", "value": encode_value(expr.value)}
+    if isinstance(expr, Op):
+        return {
+            "e": "op",
+            "name": expr.name,
+            "args": [encode_expr(arg) for arg in expr.args],
+        }
+    raise SerializationError(f"unsupported expression node: {expr!r}")
+
+
+def decode_expr(data: object) -> Expr:
+    if not isinstance(data, dict) or "e" not in data:
+        raise SerializationError(f"malformed expression payload: {data!r}")
+    kind = data["e"]
+    if kind == "var":
+        return Var(data["name"])
+    if kind == "const":
+        return Const(decode_value(data["value"]))
+    if kind == "op":
+        return Op(data["name"], *(decode_expr(arg) for arg in data["args"]))
+    raise SerializationError(f"unknown expression kind: {kind!r}")
+
+
+# -- programs ------------------------------------------------------------------
+
+
+def encode_program(program: Program) -> dict:
+    return {
+        "name": program.name,
+        "params": list(program.params),
+        "source": program.source,
+        "language": program.language,
+        "init_loc": program.init_loc,
+        "next_id": program._next_id,
+        "locations": [
+            {
+                "loc_id": loc.loc_id,
+                "name": loc.name,
+                "line": loc.line,
+                "updates": [
+                    [var, encode_expr(expr)] for var, expr in loc.updates.items()
+                ],
+            }
+            for loc in (
+                program.locations[loc_id] for loc_id in program.location_ids()
+            )
+        ],
+        "successors": [
+            [loc_id, branch, succ]
+            for (loc_id, branch), succ in sorted(program._succ.items())
+        ],
+    }
+
+
+def decode_program(data: dict) -> Program:
+    try:
+        program = Program(
+            data["name"],
+            params=data["params"],
+            source=data["source"],
+            language=data["language"],
+        )
+        for entry in data["locations"]:
+            loc = program.add_location(name=entry["name"], line=entry["line"])
+            if loc.loc_id != entry["loc_id"]:
+                # Location ids are assigned sequentially by add_location; a
+                # store produced by this codebase always satisfies this, so a
+                # mismatch means the payload was edited or corrupted.
+                raise SerializationError(
+                    f"non-sequential location id {entry['loc_id']} (expected {loc.loc_id})"
+                )
+            for var, expr_data in entry["updates"]:
+                loc.updates[var] = decode_expr(expr_data)
+        for loc_id, branch, succ in data["successors"]:
+            program._succ[(loc_id, bool(branch))] = succ
+        program.init_loc = data["init_loc"]
+        program._next_id = data["next_id"]
+        return program
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed program payload: {exc}") from exc
+
+
+# -- clusters ------------------------------------------------------------------
+
+
+def encode_cluster(cluster: Cluster) -> dict:
+    return {
+        "cluster_id": cluster.cluster_id,
+        "fingerprint": cluster.fingerprint_digest,
+        "representative": encode_program(cluster.representative),
+        "members": [encode_program(member) for member in cluster.members],
+        "expressions": [
+            [
+                loc_id,
+                var,
+                [
+                    [encode_expr(entry.expr), entry.member_index]
+                    for entry in pool
+                ],
+            ]
+            for (loc_id, var), pool in cluster.expressions.items()
+        ],
+    }
+
+
+def decode_cluster(data: dict) -> Cluster:
+    """Decode one cluster.  Representative traces are *not* stored — the
+    loader re-executes the representative on its own case set, which both
+    keeps the store format small and revalidates it against the cases at
+    hand."""
+    try:
+        cluster = Cluster(
+            cluster_id=data["cluster_id"],
+            representative=decode_program(data["representative"]),
+            representative_traces=[],
+            members=[decode_program(member) for member in data["members"]],
+            fingerprint_digest=data.get("fingerprint"),
+        )
+        for loc_id, var, pool in data["expressions"]:
+            cluster.expressions[(loc_id, var)] = [
+                ClusterExpression(decode_expr(expr_data), member_index)
+                for expr_data, member_index in pool
+            ]
+        return cluster
+    except (KeyError, TypeError, ValueError) as exc:
+        if isinstance(exc, SerializationError):
+            raise
+        raise SerializationError(f"malformed cluster payload: {exc}") from exc

@@ -1,0 +1,191 @@
+"""Versioned on-disk cluster stores ("build once, serve many").
+
+A cluster store is one JSON document holding a whole clustering — every
+cluster of :func:`repro.core.clustering.cluster_programs` with its
+representative, members, expression pools (provenance included) and
+fingerprint digest — plus a header identifying the format version, source
+language and the test-case set the clustering was built against.
+
+Invalidation rules (checked on load, see :func:`load_clusters`):
+
+* ``format_version`` must equal :data:`FORMAT_VERSION` exactly — the format
+  carries semantic content (expression encoding, pool order), so neither
+  older nor newer stores are silently accepted;
+* the ``case_signature`` — a digest of the canonical case-set key
+  (:func:`repro.engine.cache.case_set_key`) — must match the cases the
+  loader is about to repair against, because clusters are equivalence
+  classes *relative to the input set* (Def. 4.4): the same corpus clustered
+  against different cases is a different clustering.  Callers that know
+  better (e.g. a superset case set for inspection only) can opt out.
+
+Representative traces are deliberately not stored: the loader re-executes
+each representative on the case set at hand, which keeps stores small and
+doubles as an end-to-end revalidation of the decoded programs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Sequence
+
+from ..core.clustering import Cluster
+from ..core.inputs import InputCase
+from .serialize import SerializationError, decode_cluster, encode_cluster
+
+__all__ = [
+    "FORMAT_VERSION",
+    "FORMAT_NAME",
+    "ClusterStoreError",
+    "StoredClustering",
+    "case_signature",
+    "save_clusters",
+    "load_clusters",
+]
+
+#: Bump whenever the on-disk layout or its semantics change.
+FORMAT_VERSION = 1
+FORMAT_NAME = "repro-clara-clusterstore"
+
+
+class ClusterStoreError(ValueError):
+    """Raised for unreadable, mis-versioned or mismatched stores."""
+
+
+def case_signature(cases: Sequence[InputCase]) -> str:
+    """Stable digest of an ordered case set.
+
+    Built on the same canonical key the engine caches use, so two case sets
+    are interchangeable for a store exactly when they are interchangeable
+    for the trace cache.
+    """
+    from ..engine.cache import case_set_key
+
+    return hashlib.sha256(repr(case_set_key(cases)).encode()).hexdigest()
+
+
+class StoredClustering:
+    """A decoded store: clusters plus the header metadata.
+
+    ``clusters`` have empty ``representative_traces``; callers that repair
+    against them must re-execute representatives first
+    (:meth:`repro.core.pipeline.Clara.load_clusters` does).
+    """
+
+    def __init__(
+        self,
+        clusters: list[Cluster],
+        *,
+        language: str,
+        entry: str | None,
+        problem: str | None,
+        case_signature: str,
+        format_version: int,
+    ) -> None:
+        self.clusters = clusters
+        self.language = language
+        self.entry = entry
+        self.problem = problem
+        self.case_signature = case_signature
+        self.format_version = format_version
+
+    @property
+    def cluster_count(self) -> int:
+        return len(self.clusters)
+
+    def total_members(self) -> int:
+        return sum(cluster.size for cluster in self.clusters)
+
+
+def save_clusters(
+    path: str | Path,
+    clusters: Sequence[Cluster],
+    cases: Sequence[InputCase],
+    *,
+    language: str = "python",
+    entry: str | None = None,
+    problem: str | None = None,
+) -> Path:
+    """Serialize ``clusters`` (built against ``cases``) to ``path``.
+
+    The document is written with sorted keys and a trailing newline so
+    identical clusterings produce byte-identical stores.
+    """
+    path = Path(path)
+    document = {
+        "format": FORMAT_NAME,
+        "format_version": FORMAT_VERSION,
+        "language": language,
+        "entry": entry,
+        "problem": problem,
+        "case_signature": case_signature(cases),
+        "cluster_count": len(clusters),
+        "total_members": sum(cluster.size for cluster in clusters),
+        "clusters": [encode_cluster(cluster) for cluster in clusters],
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_clusters(
+    path: str | Path,
+    *,
+    cases: Sequence[InputCase] | None = None,
+    check_cases: bool = True,
+) -> StoredClustering:
+    """Load and validate a cluster store.
+
+    Args:
+        path: Store file written by :func:`save_clusters`.
+        cases: When given (and ``check_cases`` is true), the store's case
+            signature must match — repairing against a clustering built for
+            different inputs silently changes what "equivalent" means, so a
+            mismatch is an error, not a warning.
+        check_cases: Set to ``False`` to skip the signature check (e.g. the
+            read-only ``cluster info`` command).
+
+    Raises:
+        ClusterStoreError: Unreadable file, wrong format name, wrong
+            format version, case-set mismatch, or malformed payload.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_text()
+    except OSError as exc:
+        raise ClusterStoreError(f"cannot read cluster store {path}: {exc}") from exc
+    try:
+        document = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ClusterStoreError(f"cluster store {path} is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict) or document.get("format") != FORMAT_NAME:
+        raise ClusterStoreError(
+            f"{path} is not a cluster store (missing '{FORMAT_NAME}' format marker)"
+        )
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ClusterStoreError(
+            f"cluster store {path} has format version {version!r}, but this build "
+            f"reads version {FORMAT_VERSION}; rebuild the store with "
+            f"'repro-clara cluster build'"
+        )
+    signature = document.get("case_signature", "")
+    if check_cases and cases is not None and signature != case_signature(cases):
+        raise ClusterStoreError(
+            f"cluster store {path} was built against a different test-case set; "
+            f"clusters are only valid for the inputs they were clustered on — "
+            f"rebuild the store for these cases (or pass check_cases=False to "
+            f"inspect it anyway)"
+        )
+    try:
+        clusters = [decode_cluster(entry) for entry in document["clusters"]]
+    except (KeyError, TypeError, SerializationError) as exc:
+        raise ClusterStoreError(f"cluster store {path} is malformed: {exc}") from exc
+    return StoredClustering(
+        clusters,
+        language=document.get("language", "python"),
+        entry=document.get("entry"),
+        problem=document.get("problem"),
+        case_signature=signature,
+        format_version=version,
+    )

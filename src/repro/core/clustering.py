@@ -1,25 +1,46 @@
 """Clustering of correct student solutions (paper §4, Def. 4.7).
 
 Clusters are the equivalence classes of the matching relation ``∼_I``.  The
-clusterer processes correct programs one by one, matching each against the
-representative of every existing cluster; on a match the program joins the
-cluster and its expressions (translated into the representative's variables
-via the matching witness) are added to the cluster's expression pools
-``E_C(ℓ, v)``, which the repair algorithm later draws from.
+clusterer processes correct programs one by one; on a match the program
+joins the cluster and its expressions (translated into the representative's
+variables via the matching witness) are added to the cluster's expression
+pools ``E_C(ℓ, v)``, which the repair algorithm later draws from.
+
+Scaling (``repro.clusterstore``): instead of attempting the full dynamic
+matching of Fig. 4 against *every* existing representative — O(n × clusters)
+expensive matches — programs are sharded into buckets by a cheap
+matching-invariant fingerprint (control-flow skeleton + variable-arity +
+output-trace signature, see :mod:`repro.clusterstore.fingerprint`).  Two
+programs in different buckets can never match, so each program only runs
+full matches against the representatives of its own bucket, and buckets can
+be clustered concurrently.  The final clustering is *identical* to the
+exhaustive sequential one: clusters are merged deterministically in order
+of their first member's original index, and members keep their original
+relative order.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
-from ..model.expr import Expr, Var
+from ..model.expr import Expr
 from ..model.program import Program
 from ..model.trace import Trace
 from .inputs import InputCase, program_traces
 from .matching import MatchResult, find_matching
 
-__all__ = ["ClusterExpression", "Cluster", "ClusteringResult", "cluster_programs"]
+if TYPE_CHECKING:  # pragma: no cover - engine imports core; annotation only
+    from ..engine.cache import RepairCaches
+
+__all__ = [
+    "ClusterExpression",
+    "Cluster",
+    "ClusteringResult",
+    "ClusteringStats",
+    "cluster_programs",
+]
 
 
 @dataclass(frozen=True)
@@ -50,6 +71,11 @@ class Cluster:
     expressions: dict[tuple[int, str], list[ClusterExpression]] = field(
         default_factory=dict
     )
+    #: Hex digest of the members' shared fingerprint
+    #: (:class:`repro.clusterstore.fingerprint.Fingerprint`), populated when
+    #: clustering runs with pruning enabled and persisted by the cluster
+    #: store.  Informational: matching never consults it.
+    fingerprint_digest: str | None = None
 
     @property
     def size(self) -> int:
@@ -80,14 +106,50 @@ class Cluster:
                 if all(existing.expr != translated for existing in pool):
                     pool.append(ClusterExpression(translated, member_index))
 
+    def pool_signature(self) -> dict[tuple[int, str], list[tuple[str, int]]]:
+        """Comparable view of the pools: rendered expression + provenance.
+
+        Two clusters with equal signatures draw from identical expression
+        pools; tests and benchmarks use this (via
+        :meth:`ClusteringResult.signature`) to assert that pruned, parallel
+        and persisted clusterings are *identical* to the exhaustive one.
+        """
+        return {
+            key: [(str(entry.expr), entry.member_index) for entry in pool]
+            for key, pool in self.expressions.items()
+        }
+
+
+@dataclass
+class ClusteringStats:
+    """Deterministic counters describing one clustering run.
+
+    ``full_matches`` counts invocations of the full dynamic-matching
+    procedure (Fig. 4) — the expensive step pruning exists to avoid.
+    Comparing the counter between a pruned and an exhaustive run of the same
+    corpus measures the saving (``benchmarks/test_clustering_scale.py``).
+    """
+
+    programs: int = 0
+    clusters: int = 0
+    full_matches: int = 0
+    #: Number of distinct fingerprint buckets (1 when pruning is off).
+    buckets: int = 0
+    #: Bucket sizes in descending order.
+    bucket_sizes: list[int] = field(default_factory=list)
+
 
 @dataclass
 class ClusteringResult:
     """Clusters plus per-program failure diagnostics."""
 
     clusters: list[Cluster]
-    #: Programs that could not be clustered (index, reason).
+    #: Programs that could not be clustered (index, reason).  Indices refer
+    #: to the iterable passed to :func:`cluster_programs`; callers that
+    #: filter their inputs first (``Clara.add_correct_sources``) translate
+    #: them back to positions in the caller-supplied list.
     failures: list[tuple[int, str]] = field(default_factory=list)
+    stats: ClusteringStats = field(default_factory=ClusteringStats)
 
     @property
     def cluster_count(self) -> int:
@@ -97,39 +159,67 @@ class ClusteringResult:
         return sum(cluster.size for cluster in self.clusters)
 
     def sorted_by_size(self) -> list[Cluster]:
-        return sorted(self.clusters, key=lambda c: -c.size)
+        return sorted(self.clusters, key=lambda c: (-c.size, c.cluster_id))
+
+    def signature(self) -> list[tuple[int, int, dict]]:
+        """Order-sensitive comparable view of the whole clustering."""
+        return [
+            (cluster.cluster_id, cluster.size, cluster.pool_signature())
+            for cluster in self.clusters
+        ]
 
 
-def cluster_programs(
-    programs: Iterable[Program],
+def _identity_witness(program: Program) -> MatchResult:
+    return MatchResult(
+        variable_map={v: v for v in program.variables},
+        location_map={lid: lid for lid in program.location_ids()},
+    )
+
+
+def _canonical_order(program: Program) -> tuple[int, ...] | None:
+    """Canonical location order, or ``None`` when not fully reachable."""
+    order, _skeleton = program.cfg_skeleton()
+    return order if len(order) == len(program.locations) else None
+
+
+def _cluster_bucket(
+    items: Sequence[tuple[int, Program, list[Trace]]],
     cases: Sequence[InputCase],
-) -> ClusteringResult:
-    """Cluster correct programs by dynamic equivalence.
+    *,
+    shared_skeleton: bool = False,
+) -> tuple[list[tuple[int, Cluster]], int]:
+    """Cluster one fingerprint bucket sequentially.
 
-    Programs are processed in order; each is matched against existing cluster
-    representatives and joins the first cluster it matches (``∼_I`` is an
-    equivalence relation, so the first match is the only possible one up to
-    symmetry).  Programs whose execution fails outright are reported in
-    ``failures`` instead of silently dropped.
+    Returns ``(clusters, full_match_calls)`` where each cluster is tagged
+    with its first member's original index (the deterministic merge key).
+    Programs arrive in original order, so member order and
+    first-match-wins semantics are exactly those of the exhaustive loop.
+
+    With ``shared_skeleton`` (fingerprint buckets) every pair of fully
+    reachable programs in the bucket is structurally matchable by
+    construction, and the Def. 4.1 witness is the correspondence of their
+    canonical CFG orders — it is handed to :func:`find_matching` so the
+    lockstep structural walk runs zero times inside a bucket.
     """
-    clusters: list[Cluster] = []
-    failures: list[tuple[int, str]] = []
-
-    for index, program in enumerate(programs):
-        try:
-            traces = program_traces(program, cases)
-        except Exception as exc:  # noqa: BLE001 - defensive: report, don't crash
-            failures.append((index, f"execution error: {exc}"))
-            continue
-
+    clusters: list[tuple[int, Cluster, tuple[int, ...] | None]] = []
+    match_calls = 0
+    for index, program, traces in items:
+        order = _canonical_order(program) if shared_skeleton else None
         placed = False
-        for cluster in clusters:
+        for _, cluster, rep_order in clusters:
+            match_calls += 1
+            location_map = (
+                dict(zip(order, rep_order))
+                if order is not None and rep_order is not None
+                else None
+            )
             witness = find_matching(
                 program,
                 cluster.representative,
                 cases,
                 query_traces=traces,
                 base_traces=cluster.representative_traces,
+                location_map=location_map,
             )
             if witness is not None:
                 cluster.add_member(program, witness)
@@ -137,17 +227,115 @@ def cluster_programs(
                 break
         if placed:
             continue
-
         cluster = Cluster(
-            cluster_id=len(clusters),
+            cluster_id=-1,  # assigned by the deterministic merge
             representative=program,
             representative_traces=list(traces),
         )
-        identity = MatchResult(
-            variable_map={v: v for v in program.variables},
-            location_map={lid: lid for lid in program.location_ids()},
-        )
-        cluster.add_member(program, identity)
+        cluster.add_member(program, _identity_witness(program))
+        clusters.append((index, cluster, order))
+    return [(index, cluster) for index, cluster, _ in clusters], match_calls
+
+
+def cluster_programs(
+    programs: Iterable[Program],
+    cases: Sequence[InputCase],
+    *,
+    prune: bool = True,
+    workers: int = 1,
+    caches: "RepairCaches | None" = None,
+) -> ClusteringResult:
+    """Cluster correct programs by dynamic equivalence.
+
+    Programs are processed in order; each joins the first existing cluster
+    it matches (``∼_I`` is an equivalence relation, so the first match is
+    the only possible one up to symmetry).  Programs whose execution fails
+    outright are reported in ``failures`` instead of silently dropped.
+
+    Args:
+        programs: Correct programs, already parsed.
+        cases: Test inputs defining the matching relation ``∼_I``.
+        prune: Index clusters by matching-invariant fingerprint and only
+            attempt full matches within a program's own bucket.  The result
+            is identical to the exhaustive ``prune=False`` path; the
+            exhaustive path exists for cross-checking and measurement.
+        workers: Worker threads for clustering fingerprint buckets
+            concurrently.  Buckets are independent (programs in different
+            buckets can never match) and the merge is deterministic, so the
+            result does not depend on ``workers``.  Ignored when ``prune``
+            is off (there is a single bucket).
+        caches: Optional :class:`repro.engine.cache.RepairCaches` through
+            which program executions are routed, so a solution that also
+            appears elsewhere in a batch is traced once.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    stats = ClusteringStats()
+    failures: list[tuple[int, str]] = []
+
+    executed: list[tuple[int, Program, list[Trace]]] = []
+    for index, program in enumerate(programs):
+        stats.programs += 1
+        try:
+            if caches is not None:
+                traces = caches.traces(program, cases)
+            else:
+                traces = program_traces(program, cases)
+        except Exception as exc:  # noqa: BLE001 - defensive: report, don't crash
+            failures.append((index, f"execution error: {exc}"))
+            continue
+        executed.append((index, program, traces))
+
+    # Shard into fingerprint buckets (insertion order, so every bucket sees
+    # its programs in original order).
+    buckets: dict[object, list[tuple[int, Program, list[Trace]]]] = {}
+    digests: dict[object, str | None] = {}
+    if prune:
+        from ..clusterstore.fingerprint import program_fingerprint
+
+        for index, program, traces in executed:
+            if caches is not None:
+                fingerprint = caches.fingerprint(program, cases, traces=traces)
+            else:
+                fingerprint = program_fingerprint(program, traces)
+            buckets.setdefault(fingerprint, []).append((index, program, traces))
+            digests[fingerprint] = fingerprint.digest
+    else:
+        if executed:
+            buckets[None] = executed
+            digests[None] = None
+
+    if workers == 1 or len(buckets) <= 1:
+        bucket_results = [
+            _cluster_bucket(items, cases, shared_skeleton=prune)
+            for items in buckets.values()
+        ]
+    else:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            bucket_results = list(
+                pool.map(
+                    lambda items: _cluster_bucket(items, cases, shared_skeleton=prune),
+                    buckets.values(),
+                )
+            )
+
+    # Deterministic merge: order clusters by first member's original index —
+    # exactly the creation order of the exhaustive sequential loop.
+    tagged: list[tuple[int, Cluster]] = []
+    for (key, _items), (bucket_clusters, match_calls) in zip(
+        buckets.items(), bucket_results
+    ):
+        stats.full_matches += match_calls
+        for first_index, cluster in bucket_clusters:
+            cluster.fingerprint_digest = digests[key]
+            tagged.append((first_index, cluster))
+    tagged.sort(key=lambda entry: entry[0])
+    clusters = []
+    for cluster_id, (_first, cluster) in enumerate(tagged):
+        cluster.cluster_id = cluster_id
         clusters.append(cluster)
 
-    return ClusteringResult(clusters=clusters, failures=failures)
+    stats.clusters = len(clusters)
+    stats.buckets = len(buckets)
+    stats.bucket_sizes = sorted((len(items) for items in buckets.values()), reverse=True)
+    return ClusteringResult(clusters=clusters, failures=failures, stats=stats)

@@ -9,11 +9,11 @@ output (C assignments).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 from ..interpreter.executor import ExecutionLimits, execute, printed_output, returned_value
-from ..interpreter.values import UNDEF, is_undef, values_equal
+from ..interpreter.values import is_undef, values_equal
 from ..model.expr import VAR_STDIN
 from ..model.program import Program
 from ..model.trace import Trace

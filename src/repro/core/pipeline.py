@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..frontend import FrontendError, ParseError, UnsupportedFeatureError, parse_source
@@ -91,6 +92,15 @@ class Clara:
             whole cluster (the ablation of §2.1's "diversity of repairs").
         generic_threshold: Cost above which feedback becomes a generic
             strategy message.
+        cluster_fingerprint_pruning: When ``True`` (default), clustering
+            indexes existing clusters by matching-invariant fingerprint and
+            only runs the full dynamic match within a program's own bucket
+            (:mod:`repro.clusterstore.fingerprint`); the resulting clusters
+            are identical to the exhaustive path, which remains available
+            for measurement.
+        cluster_workers: Worker threads used to cluster fingerprint buckets
+            concurrently when building clusters (the result is independent
+            of this setting).
         caches: Shared memoization of traces, matches and repairs
             (:class:`repro.engine.cache.RepairCaches`).  Defaults to a fresh
             enabled instance; pass ``RepairCaches(enabled=False)`` to measure
@@ -104,6 +114,8 @@ class Clara:
     timeout: float | None = None
     use_cluster_expressions: bool = True
     generic_threshold: float = GENERIC_FEEDBACK_THRESHOLD
+    cluster_fingerprint_pruning: bool = True
+    cluster_workers: int = 1
     clusters: list[Cluster] = field(default_factory=list)
     clustering_failures: list[tuple[int, str]] = field(default_factory=list)
     caches: "RepairCaches | None" = None
@@ -132,23 +144,39 @@ class Clara:
         """Parse one attempt into the program model."""
         return parse_source(source, language=self.language, entry=self.entry)
 
-    def add_correct_programs(self, programs: Iterable[Program]) -> ClusteringResult:
+    def add_correct_programs(
+        self,
+        programs: Iterable[Program],
+        *,
+        source_indices: Sequence[int] | None = None,
+    ) -> ClusteringResult:
         """Cluster correct programs and register the clusters for repair.
 
         Invalidates memoized repair outcomes (the caches key them on the
         clustering version), but keeps trace and match entries, which stay
         valid across cluster growth.
+
+        Args:
+            programs: Parsed correct programs.
+            source_indices: Optional positions of ``programs`` in some
+                original caller-side list; when given, failure indices in
+                the returned result (and in ``clustering_failures``) are
+                translated so diagnostics point at the caller's items even
+                after filtering (``add_correct_sources`` passes this).
         """
-        result = cluster_programs(programs, self.cases)
-        offset = len(self.clusters)
-        for cluster in result.clusters:
-            cluster.cluster_id += offset
-        self.clusters.extend(result.clusters)
+        result = cluster_programs(
+            programs,
+            self.cases,
+            prune=self.cluster_fingerprint_pruning,
+            workers=self.cluster_workers,
+            caches=self.caches,
+        )
+        if source_indices is not None:
+            result.failures = [
+                (source_indices[index], reason) for index, reason in result.failures
+            ]
+        self._register_clusters(result.clusters)
         self.clustering_failures.extend(result.failures)
-        self._cluster_version += 1
-        if not self.use_cluster_expressions:
-            for cluster in self.clusters:
-                self._restrict_to_representative(cluster)
         return result
 
     def add_correct_sources(
@@ -160,9 +188,14 @@ class Clara:
         cases are skipped (MOOC dumps routinely contain mislabelled data).
         Verification runs through the trace cache, so a program that later
         shows up as an incorrect attempt is not re-executed.
+
+        Failure indices in the returned result refer to positions in
+        ``sources`` — not the post-filtering program list — so diagnostics
+        name the right submission even when earlier sources were skipped.
         """
         programs: list[Program] = []
-        for source in sources:
+        kept_indices: list[int] = []
+        for index, source in enumerate(sources):
             try:
                 program = self.parse(source)
             except FrontendError:
@@ -170,7 +203,63 @@ class Clara:
             if verify and not self.caches.is_correct(program, self.cases):
                 continue
             programs.append(program)
-        return self.add_correct_programs(programs)
+            kept_indices.append(index)
+        return self.add_correct_programs(programs, source_indices=kept_indices)
+
+    def _register_clusters(self, clusters: Sequence[Cluster]) -> None:
+        """Append clusters, renumbering ids and invalidating repair memos."""
+        offset = len(self.clusters)
+        for cluster in clusters:
+            cluster.cluster_id += offset
+        self.clusters.extend(clusters)
+        self._cluster_version += 1
+        if not self.use_cluster_expressions:
+            for cluster in self.clusters:
+                self._restrict_to_representative(cluster)
+
+    # -- persistence --------------------------------------------------------------
+
+    def save_clusters(self, path: "str | Path", *, problem: str | None = None) -> "Path":
+        """Write the current clusters to a versioned store file.
+
+        The store records the case-set signature, so only a pipeline with
+        the same cases can load it back (see
+        :func:`repro.clusterstore.store.save_clusters`).
+        """
+        from ..clusterstore.store import save_clusters as _save
+
+        return _save(
+            path,
+            self.clusters,
+            self.cases,
+            language=self.language,
+            entry=self.entry,
+            problem=problem,
+        )
+
+    def load_clusters(self, path: "str | Path", *, check_cases: bool = True) -> int:
+        """Load clusters from a store file instead of re-clustering.
+
+        Validates the format version, the source language and (by default)
+        the case-set signature, re-executes each representative on this
+        pipeline's cases to rebuild its traces, and registers the clusters
+        exactly as ``add_correct_programs`` would.  Returns the number of
+        clusters loaded.
+        """
+        from ..clusterstore.store import ClusterStoreError, load_clusters as _load
+
+        stored = _load(path, cases=self.cases, check_cases=check_cases)
+        if stored.language != self.language:
+            raise ClusterStoreError(
+                f"cluster store {path} holds {stored.language!r} programs, but this "
+                f"pipeline repairs {self.language!r} attempts"
+            )
+        for cluster in stored.clusters:
+            cluster.representative_traces = list(
+                self.caches.traces(cluster.representative, self.cases)
+            )
+        self._register_clusters(stored.clusters)
+        return len(stored.clusters)
 
     @staticmethod
     def _restrict_to_representative(cluster: Cluster) -> None:

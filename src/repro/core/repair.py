@@ -26,7 +26,6 @@ from typing import Callable, Mapping, Sequence
 from ..ilp import IlpProblem, InfeasibleError, solve as ilp_solve
 from ..model.expr import Expr, Var
 from ..model.program import Program
-from ..ted import expr_edit_distance
 from .clustering import Cluster
 from .localrepair import LocalRepairCandidate, Site, generate_local_repairs
 from .matching import FIXED_VARS, structural_match, variables_for_matching
@@ -536,7 +535,9 @@ def find_best_repair(
 
     Clusters are visited in decreasing size order (bigger clusters contain
     more expression variety and usually produce the smallest repairs first,
-    improving the effect of the timeout).
+    improving the effect of the timeout), with ties broken by ascending
+    ``cluster_id`` so the visit order — and therefore which clusters fit
+    inside a timeout budget — is deterministic.
 
     Args:
         implementation: The parsed incorrect attempt.
@@ -557,7 +558,7 @@ def find_best_repair(
     """
     if match_lookup is None:
         match_lookup = structural_match
-    ordered = sorted(clusters, key=lambda c: -c.size)
+    ordered = sorted(clusters, key=lambda c: (-c.size, c.cluster_id))
     if max_clusters is not None:
         ordered = ordered[:max_clusters]
     best: Repair | None = None

@@ -13,14 +13,12 @@ from __future__ import annotations
 import random
 import zlib
 from dataclasses import dataclass, field
-from typing import Sequence
 
 from ..core.inputs import is_correct
 from ..frontend import FrontendError, parse_source
 from .mutations import (
     EMPTY_LABEL,
     UNSUPPORTED_LABEL,
-    Mutation,
     make_empty_attempt,
     make_unsupported_attempt,
     mutate_source,

@@ -12,8 +12,7 @@ three Python MOOC problems (Table 1) and six C user-study problems (Table 2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from dataclasses import dataclass
 
 from ..core.inputs import InputCase
 

@@ -28,7 +28,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable
 
 from .cache import CacheStats
 
@@ -196,6 +196,26 @@ class BatchRepairEngine:
         self.clara = clara
         self.workers = workers
         self.budget = budget
+
+    @classmethod
+    def from_store(
+        cls,
+        clusters_path: str | Path,
+        clara: "Clara",
+        *,
+        workers: int = DEFAULT_WORKERS,
+        budget: float | None = None,
+    ) -> "BatchRepairEngine":
+        """Build an engine from a persisted cluster store.
+
+        Loads ``clusters_path`` into ``clara`` (validating format version and
+        case signature, see :meth:`repro.core.pipeline.Clara.load_clusters`)
+        and wraps it.  This is the "index once, query many" entry point:
+        every batch worker process of a deployment loads the same store
+        instead of re-clustering the correct pool on start-up.
+        """
+        clara.load_clusters(clusters_path)
+        return cls(clara, workers=workers, budget=budget)
 
     # -- public API --------------------------------------------------------------
 

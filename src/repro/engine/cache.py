@@ -39,6 +39,7 @@ import weakref
 from dataclasses import dataclass, field
 from typing import Callable, MutableMapping, Sequence
 
+from ..clusterstore.fingerprint import Fingerprint, program_fingerprint
 from ..core.inputs import InputCase, program_traces, trace_passes_case
 from ..core.inputs import is_correct as _is_correct_uncached
 from ..core.matching import structural_match
@@ -170,6 +171,7 @@ class RepairCaches:
     _traces: dict[tuple, list[Trace]] = field(default_factory=dict, init=False, repr=False)
     _correct: dict[tuple, bool] = field(default_factory=dict, init=False, repr=False)
     _matches: dict[tuple, dict[int, int] | None] = field(default_factory=dict, init=False, repr=False)
+    _fingerprints: dict[tuple, Fingerprint] = field(default_factory=dict, init=False, repr=False)
     _repairs: dict[tuple, tuple] = field(default_factory=dict, init=False, repr=False)
     #: Single-flight guard: keys whose repair is currently being computed,
     #: mapped to an event concurrent duplicates wait on.
@@ -252,6 +254,35 @@ class RepairCaches:
         with self._lock:
             self._correct[key] = verdict
         return verdict
+
+    def fingerprint(
+        self,
+        program: Program,
+        cases: Sequence[InputCase],
+        traces: Sequence[Trace] | None = None,
+    ) -> Fingerprint:
+        """Matching-invariant fingerprint of ``program`` on ``cases``, memoized.
+
+        Used by pruned clustering (:func:`repro.core.clustering.cluster_programs`)
+        to bucket programs; a duplicate correct solution is fingerprinted
+        once per case set.  ``traces`` may be passed when the caller already
+        executed the program (clustering does), avoiding a trace lookup.
+        """
+        if not self.enabled:
+            if traces is None:
+                traces = self.traces(program, cases)
+            return program_fingerprint(program, traces)
+        key = (self.program_key(program), case_set_key(cases))
+        with self._lock:
+            cached = self._fingerprints.get(key)
+            if cached is not None:
+                return cached
+        if traces is None:
+            traces = self.traces(program, cases)
+        fingerprint = program_fingerprint(program, traces)
+        with self._lock:
+            fingerprint = self._fingerprints.setdefault(key, fingerprint)
+        return fingerprint
 
     # -- structural matching ------------------------------------------------------
 
@@ -356,6 +387,7 @@ class RepairCaches:
             self._traces.clear()
             self._correct.clear()
             self._matches.clear()
+            self._fingerprints.clear()
             self._repairs.clear()
 
     def entry_counts(self) -> dict[str, int]:
@@ -365,5 +397,6 @@ class RepairCaches:
                 "traces": len(self._traces),
                 "correct": len(self._correct),
                 "matches": len(self._matches),
+                "fingerprints": len(self._fingerprints),
                 "repairs": len(self._repairs),
             }

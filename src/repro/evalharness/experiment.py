@@ -114,7 +114,7 @@ def _source_metrics(corpus: Corpus) -> tuple[float, float]:
     locs: list[int] = []
     sizes: list[int] = []
     for attempt in corpus.correct:
-        locs.append(len([l for l in attempt.source.splitlines() if l.strip()]))
+        locs.append(len([line for line in attempt.source.splitlines() if line.strip()]))
         try:
             program = parse_source(
                 attempt.source, language=corpus.problem.language, entry=corpus.problem.entry

@@ -1,6 +1,5 @@
 """Mini-C front-end: lexer, parser and lowering into the program model."""
 
-from ..errors import ParseError
 from .cast import CFunction, CTranslationUnit
 from .cparser import parse_c
 from .lexer import Token, tokenize

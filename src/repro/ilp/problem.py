@@ -9,7 +9,7 @@ paper's implementation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 __all__ = ["Constraint", "IlpProblem", "IlpSolution"]

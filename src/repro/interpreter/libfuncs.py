@@ -12,7 +12,7 @@ operations always return fresh lists.
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from typing import Callable
 
 from .values import UNDEF, is_undef, values_equal
 

@@ -190,6 +190,49 @@ class Program:
         successors = tuple(sorted(self._succ.items()))
         return (tuple(self.params), self.init_loc, locations, successors)
 
+    def cfg_skeleton(self) -> tuple[tuple[int, ...], tuple]:
+        """Canonicalize the control-flow graph (Def. 4.1 as an equality test).
+
+        Returns ``(order, skeleton)`` where ``order`` lists the reachable
+        location ids in canonical visit order (initial location first, then
+        breadth-first, true-successor before false-successor) and
+        ``skeleton`` encodes the successor structure over canonical indices.
+
+        The structural matching of Def. 4.1 is a bijection forced step by
+        step from the initial locations, so two fully reachable programs
+        admit a structural match **iff** their skeletons are equal — and the
+        witness is exactly ``order_a[i] -> order_b[i]``.  The clustering
+        layer uses this to index clusters by control-flow shape instead of
+        attempting a lockstep walk against every representative
+        (:mod:`repro.clusterstore.fingerprint`).
+
+        The skeleton also records the total location count: a program with
+        unreachable locations can never match anything (the Def. 4.1
+        bijection must cover all locations), and the count keeps such
+        programs from sharing a skeleton with their reachable core.
+        """
+        if self.init_loc is None:
+            return (), ("empty", len(self.locations))
+        order: list[int] = [self.init_loc]
+        canon: dict[int, int] = {self.init_loc: 0}
+        successors: list[tuple[object, object]] = []
+        cursor = 0
+        while cursor < len(order):
+            loc_id = order[cursor]
+            cursor += 1
+            encoded: list[object] = []
+            for branch in (True, False):
+                succ = self.successor(loc_id, branch)
+                if succ is None:
+                    encoded.append(None)
+                    continue
+                if succ not in canon:
+                    canon[succ] = len(order)
+                    order.append(succ)
+                encoded.append(canon[succ])
+            successors.append((encoded[0], encoded[1]))
+        return tuple(order), (tuple(successors), len(self.locations))
+
     # -- transformations -------------------------------------------------------
 
     def copy(self) -> "Program":

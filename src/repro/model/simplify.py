@@ -15,7 +15,7 @@ more natural repair costs and nicer feedback text.
 
 from __future__ import annotations
 
-from .expr import Const, Expr, Op, Var
+from .expr import Const, Expr, Op
 
 __all__ = ["simplify"]
 

@@ -95,6 +95,7 @@ def test_disabled_caches_always_recompute(deriv_cases, paper_sources):
         "traces": 0,
         "correct": 0,
         "matches": 0,
+        "fingerprints": 0,
         "repairs": 0,
     }
 

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.clustering import cluster_programs
 from repro.core.feedback import GENERIC_FEEDBACK_THRESHOLD, generate_feedback
-from repro.core.inputs import InputCase, is_correct
+from repro.core.inputs import is_correct
 from repro.core.pipeline import Clara, RepairStatus
 from repro.core.repair import repair_against_cluster
 from repro.frontend import parse_python_source

@@ -9,7 +9,6 @@ from repro.core.inputs import InputCase
 from repro.core.matching import find_matching, programs_match, structural_match
 from repro.datasets.variants import rename_python_variables
 from repro.frontend import parse_python_source
-from repro.model.expr import Op, Var
 
 
 def test_structural_match_same_shape(paper_sources):

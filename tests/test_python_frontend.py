@@ -89,7 +89,7 @@ def total(n):
 """
     program = parse_python_source(source)
     assert len(program.locations) == 4  # entry, cond, body, after
-    assert program.is_branching([l for l in program.location_ids()][1])
+    assert program.is_branching(program.location_ids()[1])
     assert returned_value(execute(program, {"n": 5})) == 10
 
 

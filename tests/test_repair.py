@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.clustering import cluster_programs
-from repro.core.inputs import InputCase, is_correct
+from repro.core.inputs import is_correct
 from repro.core.localrepair import (
     enumerate_partial_relations,
     expressions_match,
@@ -193,6 +193,28 @@ def test_find_best_repair_prefers_cheapest_cluster(paper_sources, deriv_cases):
     best = find_best_repair(implementation, clusters)
     assert best is not None
     assert best.cost <= 2
+
+
+def test_find_best_repair_visits_clusters_in_deterministic_order(
+    paper_sources, deriv_cases
+):
+    """Under max_clusters (and timeouts) the search must try bigger clusters
+    first and break size ties by ascending cluster_id, independent of the
+    order the cluster list happens to arrive in."""
+    programs = [
+        parse_python_source(paper_sources["C1"]),
+        parse_python_source(paper_sources["C2"]),
+    ]
+    # Two singleton clusters of the same strategy: equal sizes, ids 0 and 1.
+    clusters = [
+        cluster_programs([program], deriv_cases).clusters[0] for program in programs
+    ]
+    clusters[1].cluster_id = 1
+    implementation = parse_python_source(paper_sources["I1"])
+    for ordering in (clusters, list(reversed(clusters))):
+        best = find_best_repair(implementation, ordering, max_clusters=1)
+        assert best is not None
+        assert best.cluster_id == 0  # tie on size -> lowest cluster_id wins
 
 
 def test_enumeration_solver_agrees_with_ilp(paper_sources, deriv_cases, deriv_cluster):
