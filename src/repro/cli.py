@@ -220,6 +220,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(f"no attempts found at {args.attempts}", file=sys.stderr)
         return 1
     clara = Clara(cases=spec.cases, language=spec.language, entry=spec.entry)
+    profiler = None
+    if args.profile:
+        from .core.profile import PhaseProfiler
+
+        profiler = PhaseProfiler()
+        clara.caches.profiler = profiler
     if args.clusters:
         try:
             engine = BatchRepairEngine.from_store(
@@ -259,7 +265,37 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         ),
         file=sys.stderr,
     )
+    if profiler is not None:
+        profile_path = _write_batch_profile(args, spec, profiler, clara, report)
+        breakdown = ", ".join(
+            f"{phase}={seconds:.3f}s" for phase, seconds in profiler.timings().items()
+        )
+        print(f"profile: {breakdown or '(no instrumented work ran)'}", file=sys.stderr)
+        print(f"profile report -> {profile_path}", file=sys.stderr)
     return 0
+
+
+def _write_batch_profile(args, spec, profiler, clara, report) -> Path:
+    """Write the per-phase timing/counter breakdown to ``results/local/``.
+
+    Timings are machine-dependent, so the report goes to the gitignored
+    local results directory (created relative to the working directory when
+    run outside the repository).
+    """
+    payload = {
+        "problem": spec.name,
+        "attempts": len(report.records),
+        "workers": args.workers,
+        "phases": profiler.as_dict(),
+        "ted": clara.caches.ted.counters(),
+        "cache": report.cache_stats.as_dict(),
+        "cache_entries": clara.caches.entry_counts(),
+    }
+    directory = Path("results") / "local"
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / "batch_profile.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -356,6 +392,12 @@ def build_parser() -> argparse.ArgumentParser:
         "re-clustering a generated pool (--correct/--seed are ignored)",
     )
     p_batch.add_argument("--seed", type=int, default=0)
+    p_batch.add_argument(
+        "--profile",
+        action="store_true",
+        help="emit a per-phase timing/counter breakdown (parse, match, "
+        "candidate-gen, TED, ILP) to results/local/batch_profile.json",
+    )
     p_batch.set_defaults(func=_cmd_batch)
 
     return parser

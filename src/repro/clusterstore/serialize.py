@@ -11,14 +11,20 @@ Everything round-trips exactly:
   JSON arrays;
 * update dictionaries and expression pools keep insertion order (serialized
   as pair lists), because pool order feeds candidate generation order;
-* location names and line numbers survive (feedback text depends on them).
+* location names and line numbers survive (feedback text depends on them);
+* every pool entry carries its precomputed **index**
+  (:class:`~repro.core.clustering.PoolEntryIndex`: shape digest, size,
+  variable set and Zhang–Shasha annotation), so a loaded store feeds the
+  repair fast path without re-walking a single pool expression
+  (``format_version`` 2).
 """
 
 from __future__ import annotations
 
-from ..core.clustering import Cluster, ClusterExpression
-from ..model.expr import Const, Expr, Op, Var
+from ..core.clustering import Cluster, ClusterExpression, PoolEntryIndex
+from ..model.expr import Const, Expr, Op, Var, intern_expr
 from ..model.program import Program
+from ..ted import AnnotatedTree
 
 __all__ = [
     "SerializationError",
@@ -28,6 +34,8 @@ __all__ = [
     "decode_expr",
     "encode_program",
     "decode_program",
+    "encode_pool_index",
+    "decode_pool_index",
     "encode_cluster",
     "decode_cluster",
 ]
@@ -153,10 +161,46 @@ def decode_program(data: dict) -> Program:
         raise SerializationError(f"malformed program payload: {exc}") from exc
 
 
+# -- pool indexes --------------------------------------------------------------
+
+
+def encode_pool_index(index: PoolEntryIndex) -> dict:
+    """Encode one pool entry's precomputed repair-fast-path index."""
+    annotation = index.annotation
+    return {
+        "key": index.shape_key,
+        "size": index.size,
+        "vars": list(index.variables),
+        "labels": list(annotation.labels),
+        "lmld": list(annotation.lmld),
+        "keyroots": list(annotation.keyroots),
+    }
+
+
+def decode_pool_index(data: object) -> PoolEntryIndex:
+    if not isinstance(data, dict):
+        raise SerializationError(f"malformed pool index payload: {data!r}")
+    try:
+        annotation = AnnotatedTree(
+            tuple(data["labels"]),
+            tuple(int(i) for i in data["lmld"]),
+            tuple(int(i) for i in data["keyroots"]),
+        )
+        return PoolEntryIndex(
+            shape_key=data["key"],
+            size=int(data["size"]),
+            variables=tuple(data["vars"]),
+            annotation=annotation,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed pool index payload: {exc}") from exc
+
+
 # -- clusters ------------------------------------------------------------------
 
 
 def encode_cluster(cluster: Cluster) -> dict:
+    indexes = cluster.build_pool_indexes()
     return {
         "cluster_id": cluster.cluster_id,
         "fingerprint": cluster.fingerprint_digest,
@@ -170,6 +214,7 @@ def encode_cluster(cluster: Cluster) -> dict:
                     [encode_expr(entry.expr), entry.member_index]
                     for entry in pool
                 ],
+                [encode_pool_index(index) for index in indexes[(loc_id, var)]],
             ]
             for (loc_id, var), pool in cluster.expressions.items()
         ],
@@ -180,7 +225,8 @@ def decode_cluster(data: dict) -> Cluster:
     """Decode one cluster.  Representative traces are *not* stored — the
     loader re-executes the representative on its own case set, which both
     keeps the store format small and revalidates it against the cases at
-    hand."""
+    hand.  Pool indexes *are* stored and seed the repair fast path, so
+    ``batch --clusters`` never recomputes a pool expression's annotation."""
     try:
         cluster = Cluster(
             cluster_id=data["cluster_id"],
@@ -189,11 +235,18 @@ def decode_cluster(data: dict) -> Cluster:
             members=[decode_program(member) for member in data["members"]],
             fingerprint_digest=data.get("fingerprint"),
         )
-        for loc_id, var, pool in data["expressions"]:
+        for loc_id, var, pool, index_data in data["expressions"]:
             cluster.expressions[(loc_id, var)] = [
-                ClusterExpression(decode_expr(expr_data), member_index)
+                ClusterExpression(intern_expr(decode_expr(expr_data)), member_index)
                 for expr_data, member_index in pool
             ]
+            index = [decode_pool_index(entry) for entry in index_data]
+            if len(index) != len(pool):
+                raise SerializationError(
+                    f"pool index length {len(index)} does not match pool "
+                    f"length {len(pool)} at location {loc_id}, variable {var!r}"
+                )
+            cluster.seed_pool_index(loc_id, var, index)
         return cluster
     except (KeyError, TypeError, ValueError) as exc:
         if isinstance(exc, SerializationError):

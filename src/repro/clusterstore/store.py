@@ -45,7 +45,9 @@ __all__ = [
 ]
 
 #: Bump whenever the on-disk layout or its semantics change.
-FORMAT_VERSION = 1
+#: Version history: 1 — initial layout; 2 — pool entries carry precomputed
+#: repair-fast-path indexes (shape digest, variables, TED annotation).
+FORMAT_VERSION = 2
 FORMAT_NAME = "repro-clara-clusterstore"
 
 

@@ -21,13 +21,16 @@ relative order.
 
 from __future__ import annotations
 
+import hashlib
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Sequence
 
-from ..model.expr import Expr
+from ..interpreter.evaluator import evaluate
+from ..model.expr import Expr, intern_expr
 from ..model.program import Program
 from ..model.trace import Trace
+from ..ted import AnnotatedTree
 from .inputs import InputCase, program_traces
 from .matching import MatchResult, find_matching
 
@@ -36,6 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - engine imports core; annotation only
 
 __all__ = [
     "ClusterExpression",
+    "PoolEntryIndex",
     "Cluster",
     "ClusteringResult",
     "ClusteringStats",
@@ -58,6 +62,39 @@ class ClusterExpression:
     member_index: int
 
 
+@dataclass(frozen=True)
+class PoolEntryIndex:
+    """Precomputed per-pool-expression data consumed by the repair fast path.
+
+    Everything candidate generation needs about a pool expression *besides*
+    the expression itself: its size, the variables it mentions (drives the
+    partial-relation enumeration), a stable shape digest (persisted by the
+    cluster store for integrity/debugging), and its Zhang–Shasha annotation
+    — from which the annotation of any variable *renaming* of the
+    expression is derived in O(n) (:meth:`AnnotatedTree.rename_vars`),
+    because renaming never changes tree shape.
+    """
+
+    shape_key: str
+    size: int
+    variables: tuple[str, ...]
+    annotation: AnnotatedTree
+
+    @classmethod
+    def from_expr(cls, expr: Expr) -> "PoolEntryIndex":
+        interned = intern_expr(expr)
+        annotation = AnnotatedTree.from_expr(interned)
+        digest = hashlib.sha256(
+            repr(interned.structural_key()).encode()
+        ).hexdigest()
+        return cls(
+            shape_key=digest,
+            size=len(annotation),
+            variables=tuple(sorted(interned.variables())),
+            annotation=annotation,
+        )
+
+
 @dataclass
 class Cluster:
     """One equivalence class of ``∼_I`` with its representative and pools."""
@@ -76,6 +113,18 @@ class Cluster:
     #: clustering runs with pruning enabled and persisted by the cluster
     #: store.  Informational: matching never consults it.
     fingerprint_digest: str | None = None
+    #: Runtime caches (never serialized, excluded from comparisons).  Lazily
+    #: built, idempotent and derived purely from immutable inputs, so racing
+    #: rebuilds by batch workers are benign duplicate work.
+    _pool_indexes: dict[tuple[int, str], list[PoolEntryIndex]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _pre_state_cache: dict[int, tuple] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _ref_value_cache: dict[tuple[int, str], tuple] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @property
     def size(self) -> int:
@@ -91,7 +140,9 @@ class Cluster:
         """Add a member and merge its expressions into the pools.
 
         ``witness`` maps the member's variables/locations to the
-        representative's.
+        representative's.  Translated expressions are interned so identical
+        expressions contributed by different members share one object (and
+        one cached hash/annotation).
         """
         member_index = len(self.members)
         self.members.append(program)
@@ -100,11 +151,76 @@ class Cluster:
             rep_loc = witness.location_map[member_loc]
             for var, expr in member_location.updates.items():
                 rep_var = rename.get(var, var)
-                translated = expr.rename_vars(rename)
+                translated = intern_expr(expr.rename_vars(rename))
                 key = (rep_loc, rep_var)
                 pool = self.expressions.setdefault(key, [])
                 if all(existing.expr != translated for existing in pool):
                     pool.append(ClusterExpression(translated, member_index))
+
+    # -- fast-path indexes (see docs/ARCHITECTURE.md "Repair fast path") -------
+
+    def pool_index_for(self, loc_id: int, var: str) -> list[PoolEntryIndex]:
+        """Per-entry index of the pool at ``(loc_id, var)``, built lazily.
+
+        Parallel to :meth:`expressions_for`.  A stale cache (the pool grew
+        via :meth:`add_member`, or was filtered by the representative-only
+        ablation) is detected by length — pool lists are append-or-replace,
+        never mutated in place — and rebuilt.
+        """
+        key = (loc_id, var)
+        pool = self.expressions.get(key, [])
+        index = self._pool_indexes.get(key)
+        if index is None or len(index) != len(pool):
+            index = [PoolEntryIndex.from_expr(entry.expr) for entry in pool]
+            self._pool_indexes[key] = index
+        return index
+
+    def build_pool_indexes(self) -> dict[tuple[int, str], list[PoolEntryIndex]]:
+        """Materialize indexes for every pool (cluster-build/persist time)."""
+        return {key: self.pool_index_for(*key) for key in self.expressions}
+
+    def seed_pool_index(
+        self, loc_id: int, var: str, index: list[PoolEntryIndex]
+    ) -> None:
+        """Install a precomputed pool index (used by the cluster-store loader)."""
+        self._pool_indexes[(loc_id, var)] = index
+
+    def reset_runtime_caches(self) -> None:
+        """Drop lazily built indexes and value caches (pools changed)."""
+        self._pool_indexes.clear()
+        self._pre_state_cache.clear()
+        self._ref_value_cache.clear()
+
+    def reference_pre_states(self, loc_id: int) -> tuple:
+        """Pre-states of every representative-trace visit to ``loc_id``."""
+        states = self._pre_state_cache.get(loc_id)
+        if states is None:
+            states = tuple(
+                step.pre
+                for trace in self.representative_traces
+                for step in trace.steps
+                if step.loc_id == loc_id
+            )
+            self._pre_state_cache[loc_id] = states
+        return states
+
+    def reference_values(self, loc_id: int, var: str) -> tuple:
+        """Representative expression values at each visit to ``loc_id``.
+
+        ``evaluate(representative.update_for(loc_id, var), pre)`` for every
+        pre-state of :meth:`reference_pre_states` — hoisted out of the
+        per-candidate matching loop of Def. 4.5, where it used to be
+        recomputed identically for every candidate at a site.
+        """
+        key = (loc_id, var)
+        values = self._ref_value_cache.get(key)
+        if values is None:
+            expr = self.representative.update_for(loc_id, var)
+            values = tuple(
+                evaluate(expr, pre) for pre in self.reference_pre_states(loc_id)
+            )
+            self._ref_value_cache[key] = values
+        return values
 
     def pool_signature(self) -> dict[tuple[int, str], list[tuple[str, int]]]:
         """Comparable view of the pools: rendered expression + provenance.

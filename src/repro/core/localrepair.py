@@ -14,6 +14,24 @@ repair candidates* is generated:
 Partial variable relations are enumerated only over the variables occurring
 in the expression at hand (plus the assigned variable), which the paper notes
 keeps the enumeration feasible.
+
+The fast path (docs/ARCHITECTURE.md, "Repair fast path"):
+
+* the representative expression's value at each trace visit is evaluated
+  once per (location, variable) — via :meth:`Cluster.reference_values` —
+  instead of once per candidate relation;
+* pool expressions carry precomputed indexes
+  (:class:`repro.core.clustering.PoolEntryIndex`): their variable sets feed
+  the relation enumeration, and their tree annotations are *renamed* (an
+  O(n) label substitution, shape shared) to seed the TED cache for each
+  translated candidate, so the Zhang–Shasha preprocessing never re-walks a
+  pool expression;
+* edit distances run through a :class:`repro.ted.TedCache` (annotation +
+  distance memo), with an optional branch-and-bound ``cost_bound``: a
+  candidate whose cost reaches the bound cannot be part of a repair
+  cheaper than the best already found (costs are non-negative and
+  additive), so it is dropped — and the TED DP itself is skipped whenever
+  the cheap lower bound already reaches the bound.
 """
 
 from __future__ import annotations
@@ -24,12 +42,13 @@ from typing import Iterable, Iterator, Mapping, Sequence
 
 from ..interpreter.evaluator import evaluate
 from ..interpreter.values import values_equal
-from ..model.expr import Expr, Var
+from ..model.expr import Expr, Var, intern_expr
 from ..model.program import Program
 from ..model.trace import Trace
-from ..ted import expr_edit_distance
-from .clustering import Cluster
+from ..ted import TedCache, expr_edit_distance
+from .clustering import Cluster, PoolEntryIndex
 from .matching import FIXED_VARS, variables_for_matching
+from .profile import PhaseProfiler, profiled
 
 __all__ = [
     "LocalRepairCandidate",
@@ -109,6 +128,26 @@ def expressions_match(
     return True
 
 
+def _matches_reference(
+    candidate: Expr,
+    reference: Expr,
+    pre_states: Sequence,
+    reference_values: Sequence,
+) -> bool:
+    """Def. 4.5 against precomputed reference values (the hoisted fast path).
+
+    ``reference_values[i]`` is ``evaluate(reference, pre_states[i])``,
+    computed once per (location, variable) by
+    :meth:`Cluster.reference_values` instead of once per candidate.
+    """
+    if candidate == reference:
+        return True
+    for pre, expected in zip(pre_states, reference_values):
+        if not values_equal(evaluate(candidate, pre), expected):
+            return False
+    return True
+
+
 def enumerate_partial_relations(
     source_vars: Iterable[str],
     targets: Sequence[str],
@@ -178,6 +217,10 @@ def generate_local_repairs(
     implementation: Program,
     cluster: Cluster,
     location_map: Mapping[int, int],
+    *,
+    ted_cache: TedCache | None = None,
+    cost_bound: float | None = None,
+    profiler: PhaseProfiler | None = None,
 ) -> dict[Site, list[LocalRepairCandidate]]:
     """Generate the candidate sets ``LR(ℓ, v)`` (Fig. 5, lines 4-14).
 
@@ -187,9 +230,16 @@ def generate_local_repairs(
             traces and the expression pools).
         location_map: Structural matching π, implementation location →
             representative location.
+        ted_cache: Memo table for tree-edit distances and annotations
+            (defaults to the module-level cache of :mod:`repro.ted`).
+        cost_bound: Branch-and-bound budget — the cost of the best repair
+            already found.  Candidates whose cost reaches it are dropped;
+            repairs cheaper than the bound are unaffected (see
+            :func:`repro.core.repair.find_best_repair`).
+        profiler: Optional per-phase profiler (``ted`` phase + candidate
+            counters).
     """
     representative = cluster.representative
-    traces = cluster.representative_traces
     impl_vars = variables_for_matching(implementation)
     rep_vars = variables_for_matching(representative)
 
@@ -207,7 +257,6 @@ def generate_local_repairs(
                     _candidates_for_target(
                         implementation,
                         cluster,
-                        traces,
                         loc_id,
                         rep_loc,
                         var,
@@ -215,6 +264,9 @@ def generate_local_repairs(
                         rep_var,
                         rep_vars,
                         impl_vars,
+                        ted_cache=ted_cache,
+                        cost_bound=cost_bound,
+                        profiler=profiler,
                     )
                 )
             candidates[site] = _dedupe(site_candidates)
@@ -237,7 +289,6 @@ def generate_local_repairs(
             site_candidates = _candidates_for_target(
                 implementation,
                 cluster,
-                traces,
                 loc_id,
                 rep_loc,
                 var,
@@ -245,6 +296,9 @@ def generate_local_repairs(
                 var,
                 rep_vars,
                 impl_vars,
+                ted_cache=ted_cache,
+                cost_bound=cost_bound,
+                profiler=profiler,
             )
             candidates[site] = _dedupe(site_candidates)
 
@@ -254,7 +308,6 @@ def generate_local_repairs(
 def _candidates_for_target(
     implementation: Program,
     cluster: Cluster,
-    traces: Sequence[Trace],
     loc_id: int,
     rep_loc: int,
     var: str,
@@ -262,10 +315,16 @@ def _candidates_for_target(
     rep_var: str,
     rep_vars: Sequence[str],
     impl_vars: Sequence[str],
+    *,
+    ted_cache: TedCache | None,
+    cost_bound: float | None,
+    profiler: PhaseProfiler | None,
 ) -> list[LocalRepairCandidate]:
     """Candidates for one implementation site against one representative variable."""
     representative = cluster.representative
     rep_expr = representative.update_for(rep_loc, rep_var)
+    pre_states = cluster.reference_pre_states(rep_loc)
+    ref_values = cluster.reference_values(rep_loc, rep_var)
     out: list[LocalRepairCandidate] = []
 
     # Step 1 (Fig. 5, lines 9-11): keep the implementation expression if it
@@ -274,7 +333,7 @@ def _candidates_for_target(
         impl_expr.variables() | {var}, rep_vars, forced=(var, rep_var)
     ):
         translated = _apply_relation(impl_expr, relation)
-        if expressions_match(translated, rep_expr, traces, rep_loc):
+        if _matches_reference(translated, rep_expr, pre_states, ref_values):
             out.append(
                 LocalRepairCandidate(
                     loc_id=loc_id,
@@ -287,39 +346,114 @@ def _candidates_for_target(
             )
 
     # Step 2 (Fig. 5, lines 12-14): take expressions from the cluster pool.
-    pool = list(cluster.expressions_for(rep_loc, rep_var))
+    pool = cluster.expressions_for(rep_loc, rep_var)
     if not pool and rep_expr == Var(rep_var):
         # The representative never assigns rep_var here: offer the identity
         # expression so that a spurious implementation assignment can be
         # dropped.
-        out.extend(_identity_candidates(loc_id, var, rep_var, impl_expr))
-    for entry in pool:
-        expr = entry.expr
-        for relation in enumerate_partial_relations(
-            expr.variables() | {rep_var}, impl_vars, forced=(rep_var, var)
-        ):
-            replacement = _apply_relation(expr, relation)
-            cost = expr_edit_distance(impl_expr, replacement)
-            out.append(
-                LocalRepairCandidate(
-                    loc_id=loc_id,
-                    var=var,
-                    rep_var=rep_var,
-                    omega=_omega_items(_invert(relation)),
-                    new_expr=replacement,
-                    cost=cost,
-                    provenance=frozenset({entry.member_index}),
+        out.extend(
+            _identity_candidates(
+                loc_id, var, rep_var, impl_expr, ted_cache, cost_bound, profiler
+            )
+        )
+    if pool:
+        pool_index = cluster.pool_index_for(rep_loc, rep_var)
+        for entry, entry_index in zip(pool, pool_index):
+            out.extend(
+                _pool_candidates(
+                    entry.expr,
+                    entry_index,
+                    entry.member_index,
+                    loc_id,
+                    rep_loc,
+                    var,
+                    impl_expr,
+                    rep_var,
+                    impl_vars,
+                    ted_cache=ted_cache,
+                    cost_bound=cost_bound,
+                    profiler=profiler,
                 )
             )
     return out
 
 
+def _pool_candidates(
+    expr: Expr,
+    entry_index: PoolEntryIndex,
+    member_index: int,
+    loc_id: int,
+    rep_loc: int,
+    var: str,
+    impl_expr: Expr,
+    rep_var: str,
+    impl_vars: Sequence[str],
+    *,
+    ted_cache: TedCache | None,
+    cost_bound: float | None,
+    profiler: PhaseProfiler | None,
+) -> list[LocalRepairCandidate]:
+    """Replacement candidates drawn from one pool expression."""
+    out: list[LocalRepairCandidate] = []
+    source_vars: Iterable[str] = entry_index.variables
+    if rep_var not in entry_index.variables:
+        source_vars = (*entry_index.variables, rep_var)
+    for relation in enumerate_partial_relations(
+        source_vars, impl_vars, forced=(rep_var, var)
+    ):
+        replacement = intern_expr(_apply_relation(expr, relation))
+        if ted_cache is not None:
+            # Derive the translated expression's annotation from the pool
+            # index (labels substituted, shape shared) so the TED never has
+            # to re-walk it.
+            ted_cache.seed_annotation(
+                replacement, entry_index.annotation.rename_vars(relation)
+            )
+        if profiler is None:  # innermost loop: skip the context-manager cost
+            cost = expr_edit_distance(
+                impl_expr, replacement, cache=ted_cache, budget=cost_bound
+            )
+        else:
+            with profiler.phase("ted"):
+                cost = expr_edit_distance(
+                    impl_expr, replacement, cache=ted_cache, budget=cost_bound
+                )
+        if cost_bound is not None and cost >= cost_bound:
+            # A repair using this candidate costs at least ``cost`` —
+            # already no better than the best repair found so far.
+            continue
+        out.append(
+            LocalRepairCandidate(
+                loc_id=loc_id,
+                var=var,
+                rep_var=rep_var,
+                omega=_omega_items(_invert(relation)),
+                new_expr=replacement,
+                cost=cost,
+                provenance=frozenset({member_index}),
+            )
+        )
+    return out
+
+
 def _identity_candidates(
-    loc_id: int, var: str, rep_var: str, impl_expr: Expr
+    loc_id: int,
+    var: str,
+    rep_var: str,
+    impl_expr: Expr,
+    ted_cache: TedCache | None = None,
+    cost_bound: float | None = None,
+    profiler: PhaseProfiler | None = None,
 ) -> list[LocalRepairCandidate]:
     """Offer "remove this assignment" when the representative has none."""
     identity = Var(var)
     if impl_expr == identity:
+        return []
+    with profiled(profiler, "ted"):
+        cost = expr_edit_distance(
+            impl_expr, identity, cache=ted_cache, budget=cost_bound
+        )
+    if cost_bound is not None and cost >= cost_bound:
         return []
     return [
         LocalRepairCandidate(
@@ -328,7 +462,7 @@ def _identity_candidates(
             rep_var=rep_var,
             omega=((var, rep_var),) if var not in FIXED_VARS else (),
             new_expr=identity,
-            cost=expr_edit_distance(impl_expr, identity),
+            cost=cost,
         )
     ]
 

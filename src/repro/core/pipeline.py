@@ -32,6 +32,7 @@ from ..model.program import Program
 from .clustering import Cluster, ClusteringResult, cluster_programs
 from .feedback import Feedback, GENERIC_FEEDBACK_THRESHOLD, generate_feedback
 from .inputs import InputCase
+from .profile import profiled
 from .repair import Repair, find_best_repair
 
 if TYPE_CHECKING:  # pragma: no cover - engine imports core; annotation only
@@ -271,6 +272,7 @@ class Clara:
                 entry for entry in pool if entry.expr == rep_expr
             ]
         cluster.expressions = restricted
+        cluster.reset_runtime_caches()
 
     # -- repair -------------------------------------------------------------------
 
@@ -358,7 +360,7 @@ class Clara:
             self.clusters,
             solver=self.solver,
             timeout=timeout,
-            match_lookup=self.caches.structural_match,
+            caches=self.caches,
         )
         search_elapsed = time.perf_counter() - started
         if repair is None:
@@ -396,7 +398,8 @@ class Clara:
         """
         start = time.perf_counter()
         try:
-            program = self.parse(source)
+            with profiled(self.caches.profiler, "parse"):
+                program = self.parse(source)
         except UnsupportedFeatureError as exc:
             return RepairOutcome(
                 status=RepairStatus.UNSUPPORTED,

@@ -1,0 +1,84 @@
+"""Per-phase profiling of the repair pipeline (``repro-clara batch --profile``).
+
+A :class:`PhaseProfiler` accumulates wall-clock time and call counts per
+pipeline phase — ``parse``, ``match``, ``candidate_gen``, ``ted`` and
+``ilp`` — across every attempt of a batch run.  It is attached to the
+pipeline's :class:`repro.engine.cache.RepairCaches` (``caches.profiler``)
+and threaded from there into the repair core, so instrumentation costs
+nothing when no profiler is attached (the common case): every hook goes
+through :func:`profiled`, which is a no-op for ``profiler=None``.
+
+Counters are deterministic for a given corpus and single-worker run, which
+is what the CI fast-tests exercise; timings are machine-dependent and only
+ever written to the gitignored ``results/local/``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["PhaseProfiler", "profiled", "PHASES"]
+
+#: Canonical phase order for reports.
+PHASES = ("parse", "match", "candidate_gen", "ted", "ilp")
+
+
+class PhaseProfiler:
+    """Thread-safe accumulator of per-phase timings and call counts."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._seconds: dict[str, float] = {}
+        self._calls: dict[str, int] = {}
+
+    def add(self, phase: str, seconds: float, calls: int = 1) -> None:
+        """Record ``seconds`` of work (and ``calls`` invocations) for a phase."""
+        with self._lock:
+            self._seconds[phase] = self._seconds.get(phase, 0.0) + seconds
+            self._calls[phase] = self._calls.get(phase, 0) + calls
+
+    def count(self, phase: str, calls: int = 1) -> None:
+        """Record invocations without timing (counter-only instrumentation)."""
+        self.add(phase, 0.0, calls)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a block of work under ``name``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - started)
+
+    # -- reports ---------------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        """Timing-free call counts per phase (deterministic for a corpus)."""
+        with self._lock:
+            ordered = [p for p in PHASES if p in self._calls]
+            ordered += sorted(set(self._calls) - set(PHASES))
+            return {phase: self._calls[phase] for phase in ordered}
+
+    def timings(self) -> dict[str, float]:
+        """Accumulated wall-clock seconds per phase (machine-dependent)."""
+        with self._lock:
+            ordered = [p for p in PHASES if p in self._seconds]
+            ordered += sorted(set(self._seconds) - set(PHASES))
+            return {phase: round(self._seconds[phase], 6) for phase in ordered}
+
+    def as_dict(self) -> dict:
+        """``{"counters": {...}, "timings": {...}}`` for JSON reports."""
+        return {"counters": self.counters(), "timings": self.timings()}
+
+
+@contextmanager
+def profiled(profiler: PhaseProfiler | None, name: str) -> Iterator[None]:
+    """Time a block under ``name`` when a profiler is attached; else no-op."""
+    if profiler is None:
+        yield
+        return
+    with profiler.phase(name):
+        yield

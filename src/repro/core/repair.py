@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 from ..ilp import IlpProblem, InfeasibleError, solve as ilp_solve
 from ..model.expr import Expr, Var
@@ -29,6 +29,10 @@ from ..model.program import Program
 from .clustering import Cluster
 from .localrepair import LocalRepairCandidate, Site, generate_local_repairs
 from .matching import FIXED_VARS, structural_match, variables_for_matching
+from .profile import profiled
+
+if TYPE_CHECKING:  # pragma: no cover - engine imports core; annotation only
+    from ..engine.cache import RepairCaches
 
 __all__ = [
     "RepairAction",
@@ -93,6 +97,28 @@ class Repair:
         if self.original_ast_size == 0:
             return float("inf")
         return self.cost / self.original_ast_size
+
+    def comparable_fields(self) -> dict:
+        """Every observable field except wall-clock ``solve_time``.
+
+        Used to assert that two search configurations (e.g. the
+        cost-bounded fast path vs the exhaustive path) produced *the same
+        repair*, field for field; the repaired program is represented by
+        its structure key.
+        """
+        return {
+            "cluster_id": self.cluster_id,
+            "cost": self.cost,
+            "actions": self.actions,
+            "variable_map": self.variable_map,
+            "added_vars": self.added_vars,
+            "deleted_vars": self.deleted_vars,
+            "provenance": self.provenance_members,
+            "original_ast_size": self.original_ast_size,
+            "repaired": self.repaired_program.structure_key()
+            if self.repaired_program is not None
+            else None,
+        }
 
 
 # ---------------------------------------------------------------------------
@@ -461,6 +487,8 @@ def repair_against_cluster(
     solver: str = "ilp",
     ilp_node_limit: int = 200_000,
     location_map: Mapping[int, int] | None = None,
+    caches: "RepairCaches | None" = None,
+    cost_bound: float | None = None,
 ) -> Repair | None:
     """Repair an implementation against one cluster (Fig. 5).
 
@@ -474,21 +502,42 @@ def repair_against_cluster(
             ``implementation`` and the cluster representative, e.g. from
             :meth:`repro.engine.cache.RepairCaches.structural_match`.  When
             omitted it is computed here.
+        caches: Optional :class:`repro.engine.cache.RepairCaches`; provides
+            the TED memo table and the per-phase profiler to candidate
+            generation.
+        cost_bound: Branch-and-bound budget, the cost of the best repair
+            found so far.  Candidates costing at least this much are pruned
+            during generation; any repair *cheaper* than the bound is
+            returned exactly as on the unpruned path, while a cluster whose
+            cheapest repair reaches the bound may return a different
+            same-or-costlier repair or ``None`` — callers comparing with a
+            strict ``<`` (:func:`find_best_repair`) are unaffected.
 
     Returns:
         The cheapest consistent repair, or ``None`` when the control flow
         does not match or no consistent repair exists.
     """
     start = time.perf_counter()
+    ted_cache = caches.ted if caches is not None else None
+    profiler = caches.profiler if caches is not None else None
     if location_map is None:
         location_map = structural_match(implementation, cluster.representative)
     if location_map is None:
         return None
 
-    candidates = generate_local_repairs(implementation, cluster, location_map)
+    with profiled(profiler, "candidate_gen"):
+        candidates = generate_local_repairs(
+            implementation,
+            cluster,
+            location_map,
+            ted_cache=ted_cache,
+            cost_bound=cost_bound,
+            profiler=profiler,
+        )
 
     if solver == "enumerate":
-        solved = solve_by_enumeration(implementation, cluster, candidates)
+        with profiled(profiler, "ilp"):
+            solved = solve_by_enumeration(implementation, cluster, candidates)
         if solved is None:
             return None
         values, objective = solved
@@ -496,7 +545,8 @@ def repair_against_cluster(
     elif solver == "ilp":
         problem, indexed = _build_ilp(implementation, cluster, candidates)
         try:
-            solution = ilp_solve(problem, node_limit=ilp_node_limit)
+            with profiled(profiler, "ilp"):
+                solution = ilp_solve(problem, node_limit=ilp_node_limit)
         except InfeasibleError:
             return None
         values, objective = solution.values, solution.objective
@@ -530,14 +580,30 @@ def find_best_repair(
     timeout: float | None = None,
     max_clusters: int | None = None,
     match_lookup: Callable[[Program, Program], Mapping[int, int] | None] | None = None,
+    caches: "RepairCaches | None" = None,
+    cost_bound: bool = True,
 ) -> Repair | None:
     """Run the repair algorithm against every cluster and keep the cheapest.
 
     Clusters are visited in decreasing size order (bigger clusters contain
     more expression variety and usually produce the smallest repairs first,
-    improving the effect of the timeout), with ties broken by ascending
-    ``cluster_id`` so the visit order — and therefore which clusters fit
-    inside a timeout budget — is deterministic.
+    improving both the effect of the timeout and the branch-and-bound
+    pruning below), with ties broken by ascending ``cluster_id`` so the
+    visit order — and therefore which clusters fit inside a timeout budget —
+    is deterministic.
+
+    With ``cost_bound`` (the default), the best cost found so far is
+    threaded into each subsequent cluster's candidate generation as a
+    branch-and-bound budget: candidates that cannot possibly beat it are
+    dropped, and their tree-edit-distance DPs skipped, without ever changing
+    the returned repair.  The argument: candidate costs are non-negative
+    and additive, so any repair using a candidate of cost ≥ bound itself
+    costs ≥ bound; since the selection below is *strict* (``<``), such a
+    repair could never replace ``best`` — pruning it (or, transitively,
+    returning ``None`` for a cluster whose repairs all reach the bound) is
+    unobservable.  ``cost_bound=False`` keeps the exhaustive path alive for
+    cross-checks and measurement (``benchmarks/test_repair_throughput.py``
+    asserts field-identical outcomes).
 
     Args:
         implementation: The parsed incorrect attempt.
@@ -547,17 +613,22 @@ def find_best_repair(
             it is exceeded.
         max_clusters: Upper bound on the number of (largest) clusters tried.
         match_lookup: Structural-match provider ``(implementation,
-            representative) -> location map or None``.  The pipeline passes
-            its cache's :meth:`~repro.engine.cache.RepairCaches.structural_match`
-            here so each (attempt, cluster) pair is matched exactly once
-            across the gate check and the search; defaults to computing the
+            representative) -> location map or None``.  Defaults to
+            ``caches.structural_match`` when ``caches`` is given (so each
+            (attempt, cluster) pair is matched exactly once across the
+            pipeline's gate check and the search), else to computing the
             match directly.
+        caches: Optional :class:`repro.engine.cache.RepairCaches`; provides
+            the structural-match memo, the TED memo and the profiler.
+        cost_bound: Enable best-cost-so-far pruning (see above).
 
     Returns:
         The cheapest repair over all clusters, or ``None``.
     """
     if match_lookup is None:
-        match_lookup = structural_match
+        match_lookup = (
+            caches.structural_match if caches is not None else structural_match
+        )
     ordered = sorted(clusters, key=lambda c: (-c.size, c.cluster_id))
     if max_clusters is not None:
         ordered = ordered[:max_clusters]
@@ -566,11 +637,20 @@ def find_best_repair(
     for cluster in ordered:
         if timeout is not None and time.perf_counter() - start > timeout:
             break
+        bound = best.cost if (cost_bound and best is not None) else None
+        if bound is not None and bound <= 0:
+            # Nothing can strictly beat a zero-cost repair.
+            break
         location_map = match_lookup(implementation, cluster.representative)
         if location_map is None:
             continue
         repair = repair_against_cluster(
-            implementation, cluster, solver=solver, location_map=location_map
+            implementation,
+            cluster,
+            solver=solver,
+            location_map=location_map,
+            caches=caches,
+            cost_bound=bound,
         )
         if repair is None:
             continue

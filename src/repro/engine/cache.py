@@ -43,8 +43,10 @@ from ..clusterstore.fingerprint import Fingerprint, program_fingerprint
 from ..core.inputs import InputCase, program_traces, trace_passes_case
 from ..core.inputs import is_correct as _is_correct_uncached
 from ..core.matching import structural_match
+from ..core.profile import PhaseProfiler, profiled
 from ..model.program import Program
 from ..model.trace import Trace
+from ..ted import TedCache
 
 __all__ = ["CacheStats", "RepairCaches", "case_set_key", "freeze_key"]
 
@@ -164,6 +166,14 @@ class RepairCaches:
 
     enabled: bool = True
     stats: CacheStats = field(default_factory=CacheStats)
+    #: Tree-edit-distance memo (annotations + pair distances) threaded into
+    #: candidate generation by :func:`repro.core.repair.find_best_repair`.
+    #: Created in ``__post_init__`` so its ``enabled`` flag follows the
+    #: caches' — an uncached baseline also measures uncached TED.
+    ted: TedCache | None = None
+    #: Optional per-phase profiler (``repro-clara batch --profile``); when
+    #: attached, parse/match/candidate-gen/TED/ILP work is timed and counted.
+    profiler: PhaseProfiler | None = None
     _lock: threading.Lock = field(default_factory=threading.Lock, init=False, repr=False)
     _program_keys: MutableMapping[Program, tuple] = field(
         default_factory=weakref.WeakKeyDictionary, init=False, repr=False
@@ -178,6 +188,10 @@ class RepairCaches:
     _repair_inflight: dict[tuple, threading.Event] = field(
         default_factory=dict, init=False, repr=False
     )
+
+    def __post_init__(self) -> None:
+        if self.ted is None:
+            self.ted = TedCache(enabled=self.enabled)
 
     # -- keys ------------------------------------------------------------------
 
@@ -298,14 +312,16 @@ class RepairCaches:
         if not self.enabled:
             with self._lock:
                 self.stats.match_misses += 1
-            return structural_match(query, base)
+            with profiled(self.profiler, "match"):
+                return structural_match(query, base)
         key = (self.program_key(query), self.program_key(base))
         with self._lock:
             if key in self._matches:
                 self.stats.match_hits += 1
                 return self._matches[key]
             self.stats.match_misses += 1
-        result = structural_match(query, base)
+        with profiled(self.profiler, "match"):
+            result = structural_match(query, base)
         with self._lock:
             self._matches.setdefault(key, result)
         return result
@@ -389,14 +405,17 @@ class RepairCaches:
             self._matches.clear()
             self._fingerprints.clear()
             self._repairs.clear()
+        self.ted.clear()
 
     def entry_counts(self) -> dict[str, int]:
         """Number of stored entries per table (for reports and debugging)."""
         with self._lock:
-            return {
+            counts = {
                 "traces": len(self._traces),
                 "correct": len(self._correct),
                 "matches": len(self._matches),
                 "fingerprints": len(self._fingerprints),
                 "repairs": len(self._repairs),
             }
+        counts.update(self.ted.entry_counts())
+        return counts

@@ -11,7 +11,10 @@ from .expr import (
     VAR_RETFLAG,
     VAR_STDIN,
     Var,
+    clear_intern_table,
     conjunction,
+    intern_expr,
+    intern_table_size,
     is_iterator_var,
     is_special_var,
     negation,
@@ -34,6 +37,9 @@ __all__ = [
     "VAR_STDIN",
     "conjunction",
     "negation",
+    "intern_expr",
+    "clear_intern_table",
+    "intern_table_size",
     "is_special_var",
     "is_iterator_var",
     "render_expression",

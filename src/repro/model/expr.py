@@ -14,6 +14,13 @@ operations.  We mirror that with three immutable node types:
 Expressions are hashable and comparable structurally, which the clustering
 and repair algorithms rely on (expression pools are de-duplicated by
 structural equality).
+
+Hashes and structural keys are computed once per node and cached (the
+matching and repair loops hash the same expressions millions of times), and
+:func:`intern_expr` hash-conses expressions into canonical objects so that
+identical sub-expressions share one node — and therefore one cached hash,
+one structural key and one memoized tree annotation (see
+:class:`repro.ted.zhang_shasha.TedCache`).
 """
 
 from __future__ import annotations
@@ -25,6 +32,9 @@ __all__ = [
     "Var",
     "Const",
     "Op",
+    "intern_expr",
+    "clear_intern_table",
+    "intern_table_size",
     "VAR_COND",
     "VAR_RET",
     "VAR_RETFLAG",
@@ -97,6 +107,22 @@ class Expr:
             yield node
             stack.extend(reversed(node.children()))
 
+    def structural_key(self) -> tuple:
+        """Return a hashable tuple identifying the expression structurally.
+
+        Two expressions are ``==`` exactly when their structural keys are
+        equal.  The key is computed once per node and cached, so repeated
+        lookups (cache keys, interning) are O(1) after the first call.
+        """
+        key = self._skey
+        if key is None:
+            key = self._compute_key()
+            self._skey = key
+        return key
+
+    def _compute_key(self) -> tuple:
+        raise NotImplementedError
+
     # -- rewriting ----------------------------------------------------------
 
     def substitute_vars(self, mapping: Mapping[str, "Expr"]) -> "Expr":
@@ -148,10 +174,12 @@ class Expr:
 class Var(Expr):
     """A reference to a program variable."""
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "_skey", "_hash")
 
     def __init__(self, name: str) -> None:
         self.name = name
+        self._skey = None
+        self._hash = None
 
     def _collect_variables(self, out: set[str]) -> None:
         out.add(self.name)
@@ -165,11 +193,20 @@ class Var(Expr):
     def map(self, fn: Callable[[Expr], Expr]) -> Expr:
         return fn(self)
 
+    def _compute_key(self) -> tuple:
+        return ("v", self.name)
+
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         return isinstance(other, Var) and other.name == self.name
 
     def __hash__(self) -> int:
-        return hash(("Var", self.name))
+        value = self._hash
+        if value is None:
+            value = hash(("Var", self.name))
+            self._hash = value
+        return value
 
     def __str__(self) -> str:
         return self.name
@@ -183,10 +220,12 @@ class Const(Expr):
     given; the interpreter never mutates values in place.
     """
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_skey", "_hash")
 
     def __init__(self, value: object) -> None:
         self.value = value
+        self._skey = None
+        self._hash = None
 
     def _collect_variables(self, out: set[str]) -> None:  # no variables
         return None
@@ -206,11 +245,20 @@ class Const(Expr):
             value = ("__list__", tuple(value))
         return (type(value).__name__, value)
 
+    def _compute_key(self) -> tuple:
+        return ("c",) + self._key()
+
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         return isinstance(other, Const) and other._key() == self._key()
 
     def __hash__(self) -> int:
-        return hash(("Const", self._key()))
+        value = self._hash
+        if value is None:
+            value = hash(("Const", self._key()))
+            self._hash = value
+        return value
 
     def __str__(self) -> str:
         if isinstance(self.value, str):
@@ -223,11 +271,13 @@ class Const(Expr):
 class Op(Expr):
     """An operation applied to argument expressions."""
 
-    __slots__ = ("name", "args")
+    __slots__ = ("name", "args", "_skey", "_hash")
 
     def __init__(self, name: str, *args: Expr) -> None:
         self.name = name
         self.args = tuple(args)
+        self._skey = None
+        self._hash = None
 
     def _collect_variables(self, out: set[str]) -> None:
         for arg in self.args:
@@ -268,7 +318,12 @@ class Op(Expr):
         node = self if new_args == self.args else Op(self.name, *new_args)
         return fn(node)
 
+    def _compute_key(self) -> tuple:
+        return ("o", self.name, tuple(arg.structural_key() for arg in self.args))
+
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         return (
             isinstance(other, Op)
             and other.name == self.name
@@ -276,10 +331,64 @@ class Op(Expr):
         )
 
     def __hash__(self) -> int:
-        return hash(("Op", self.name, self.args))
+        value = self._hash
+        if value is None:
+            value = hash(("Op", self.name, self.args))
+            self._hash = value
+        return value
 
     def __str__(self) -> str:
         return render_expression(self)
+
+
+# ---------------------------------------------------------------------------
+# Interning (hash-consing)
+# ---------------------------------------------------------------------------
+
+#: Canonical expression per structural key.  Expressions are tiny immutable
+#: trees drawn from a bounded vocabulary (student code for one assignment),
+#: so the table stays small in practice; :data:`MAX_INTERN_ENTRIES` bounds
+#: it anyway so a long-lived engine crossing many corpora cannot grow it
+#: forever.  ``dict.setdefault`` keeps the table safe under concurrent
+#: interning from batch workers (one winner per key).
+_INTERN_TABLE: dict[tuple, Expr] = {}
+
+#: Flush threshold for the intern table.  Flushing only costs identity
+#: sharing on *future* interns (structural equality is unaffected), so a
+#: rare bulk clear is preferable to per-entry eviction bookkeeping.
+MAX_INTERN_ENTRIES = 1 << 16
+
+
+def intern_expr(expr: Expr) -> Expr:
+    """Return the canonical object for ``expr`` (hash-consing).
+
+    Structurally equal expressions intern to the *same* object, and the
+    canonical object's sub-expressions are themselves interned, so identical
+    sub-trees share nodes (and their cached hashes, structural keys and tree
+    annotations).  Interning an already-canonical expression is a single
+    dict lookup on its cached structural key.
+    """
+    key = expr.structural_key()
+    canonical = _INTERN_TABLE.get(key)
+    if canonical is not None:
+        return canonical
+    if isinstance(expr, Op):
+        args = tuple(intern_expr(arg) for arg in expr.args)
+        if any(new is not old for new, old in zip(args, expr.args)):
+            expr = Op(expr.name, *args)
+    if len(_INTERN_TABLE) >= MAX_INTERN_ENTRIES:
+        _INTERN_TABLE.clear()
+    return _INTERN_TABLE.setdefault(key, expr)
+
+
+def clear_intern_table() -> None:
+    """Drop all interned expressions (canonical objects stay valid)."""
+    _INTERN_TABLE.clear()
+
+
+def intern_table_size() -> int:
+    """Number of canonical expressions currently interned."""
+    return len(_INTERN_TABLE)
 
 
 # ---------------------------------------------------------------------------

@@ -1,7 +1,13 @@
 """Tree edit distance substrate (Zhang–Shasha)."""
 
 from .tree import TreeNode, expr_to_tree, postorder, tree_size
-from .zhang_shasha import expr_edit_distance, tree_edit_distance
+from .zhang_shasha import (
+    AnnotatedTree,
+    TedCache,
+    expr_edit_distance,
+    ted_lower_bound,
+    tree_edit_distance,
+)
 
 __all__ = [
     "TreeNode",
@@ -10,4 +16,7 @@ __all__ = [
     "tree_size",
     "tree_edit_distance",
     "expr_edit_distance",
+    "AnnotatedTree",
+    "TedCache",
+    "ted_lower_bound",
 ]

@@ -177,3 +177,62 @@ def test_python_and_c_models_are_interoperable():
     )
     assert len(python_program.locations) == len(c_program.locations) == 4
     assert python_program.language == "python" and c_program.language == "c"
+
+
+def test_cli_batch_profile_writes_phase_breakdown(tmp_path, capsys, monkeypatch):
+    import json
+
+    broken = (
+        "def computeDeriv(poly):\n"
+        "    result = []\n"
+        "    for e in range(len(poly)):\n"
+        "        result.append(float(poly[e]*e))\n"
+        "    if result == []:\n"
+        "        return [0.0]\n"
+        "    return result\n"
+    )
+    attempts = tmp_path / "attempts"
+    attempts.mkdir()
+    (attempts / "a.py").write_text(broken)
+    report_path = tmp_path / "report.jsonl"
+    monkeypatch.chdir(tmp_path)  # the profile lands in ./results/local/
+
+    code = main(
+        [
+            "batch",
+            "--problem",
+            "derivatives",
+            "--attempts",
+            str(attempts),
+            "--correct",
+            "6",
+            "--workers",
+            "1",
+            "--output",
+            str(report_path),
+            "--profile",
+        ]
+    )
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "profile" in err
+
+    profile_path = tmp_path / "results" / "local" / "batch_profile.json"
+    assert profile_path.exists()
+    payload = json.loads(profile_path.read_text())
+    counters = payload["phases"]["counters"]
+    # Counter-only assertions (timings are machine-dependent): every phase
+    # that must have run is counted.
+    assert counters["parse"] == 1
+    assert counters["match"] >= 1
+    assert counters["candidate_gen"] >= 1
+    assert counters["ted"] >= 1
+    assert counters["ilp"] >= 1
+    assert set(payload["phases"]["timings"]) == set(counters)
+    assert payload["ted"]["dp_runs"] >= 0
+    assert payload["ted"]["dp_runs"] + payload["ted"]["lb_prunes"] >= 1
+    assert payload["attempts"] == 1
+
+    # Profiling must not change outcomes.
+    record = json.loads(report_path.read_text().splitlines()[0])
+    assert record["status"] == "repaired"

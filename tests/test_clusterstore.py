@@ -266,7 +266,7 @@ def test_cli_cluster_build_info_batch_round_trip(tmp_path, capsys):
 
     assert cli_main(["cluster", "info", str(store)]) == 0
     info = capsys.readouterr().out
-    assert "format version: 1" in info
+    assert "format version: 2" in info
     assert "derivatives" in info
 
     attempts = tmp_path / "attempts"
@@ -330,3 +330,56 @@ def test_cli_batch_rejects_bad_store(tmp_path, capsys):
         == 2
     )
     assert "not a cluster store" in capsys.readouterr().err
+
+
+# -- pool indexes (repair fast path) --------------------------------------------------
+
+
+def test_store_round_trips_pool_indexes(deriv_setup, tmp_path):
+    """A loaded store must serve the *persisted* pool indexes — equal to
+    freshly built ones — without recomputing them."""
+    problem, _corpus, clara = deriv_setup
+    path = clara.save_clusters(tmp_path / "clusters.json", problem=problem.name)
+    stored = load_clusters(path, cases=problem.cases)
+    by_id = {cluster.cluster_id: cluster for cluster in stored.clusters}
+    checked = 0
+    for original in clara.clusters:
+        loaded = by_id[original.cluster_id]
+        for (loc_id, var), pool in original.expressions.items():
+            fresh = original.pool_index_for(loc_id, var)
+            decoded = loaded.pool_index_for(loc_id, var)
+            assert decoded == fresh
+            assert len(decoded) == len(pool)
+            for index, entry in zip(decoded, pool):
+                assert index.size == entry.expr.size()
+                assert index.variables == tuple(sorted(entry.expr.variables()))
+            checked += len(pool)
+    assert checked > 0
+
+
+def test_store_rejects_mismatched_pool_index_length(deriv_setup, tmp_path):
+    problem, _corpus, clara = deriv_setup
+    path = clara.save_clusters(tmp_path / "clusters.json")
+    document = json.loads(path.read_text())
+    entry = document["clusters"][0]["expressions"][0]
+    entry[3] = entry[3][:-1] + [entry[3][-1], entry[3][-1]]  # one index too many
+    path.write_text(json.dumps(document))
+    with pytest.raises(ClusterStoreError, match="pool index length"):
+        load_clusters(path, cases=problem.cases)
+
+
+def test_load_rejects_version_1_stores(deriv_setup, tmp_path):
+    """Stores from before the pool-index format (version 1) are rejected with
+    a clear rebuild instruction rather than silently recomputed."""
+    problem, _corpus, clara = deriv_setup
+    path = clara.save_clusters(tmp_path / "clusters.json")
+    document = json.loads(path.read_text())
+    document["format_version"] = 1
+    # Strip the pool indexes to mimic the old layout.
+    for cluster in document["clusters"]:
+        cluster["expressions"] = [entry[:3] for entry in cluster["expressions"]]
+    path.write_text(json.dumps(document))
+    with pytest.raises(ClusterStoreError, match="format version 1"):
+        load_clusters(path, cases=problem.cases)
+    with pytest.raises(ClusterStoreError, match="rebuild the store"):
+        Clara(cases=problem.cases).load_clusters(path)

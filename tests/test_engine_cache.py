@@ -97,6 +97,8 @@ def test_disabled_caches_always_recompute(deriv_cases, paper_sources):
         "matches": 0,
         "fingerprints": 0,
         "repairs": 0,
+        "ted_annotations": 0,
+        "ted_distances": 0,
     }
 
 

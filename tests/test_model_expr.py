@@ -9,6 +9,7 @@ from repro.model.expr import (
     Op,
     Var,
     conjunction,
+    intern_expr,
     negation,
     render_expression,
 )
@@ -125,3 +126,43 @@ def test_replace_every_path_keeps_tree_valid(expr):
     for path, _node in expr.paths():
         replaced = expr.replace_at(path, Const(42))
         assert replaced.node_at(path) == Const(42)
+
+
+# -- structural keys and interning -----------------------------------------------------
+
+
+def test_structural_key_matches_equality():
+    a = Op("Add", Var("x"), Const(1))
+    b = Op("Add", Var("x"), Const(1))
+    c = Op("Add", Var("x"), Const(True))  # bool vs int must not collide
+    assert a.structural_key() == b.structural_key()
+    assert a.structural_key() != c.structural_key()
+    assert Const(1).structural_key() != Const(1.0).structural_key()
+    # The key is cached: the second call returns the same object.
+    assert a.structural_key() is a.structural_key()
+
+
+def test_intern_returns_canonical_object():
+    a = Op("Add", Var("x"), Const(1))
+    b = Op("Add", Var("x"), Const(1))
+    assert a is not b
+    assert intern_expr(a) is intern_expr(b)
+    # Interning is idempotent.
+    canonical = intern_expr(a)
+    assert intern_expr(canonical) is canonical
+
+
+def test_intern_shares_subexpressions():
+    shared = Op("Mult", Var("x"), Const(2))
+    left = Op("Add", Op("Mult", Var("x"), Const(2)), Const(1))
+    interned_left = intern_expr(left)
+    interned_shared = intern_expr(shared)
+    assert interned_left.args[0] is interned_shared
+
+
+@given(exprs())
+def test_intern_preserves_structure(expr):
+    interned = intern_expr(expr)
+    assert interned == expr
+    assert str(interned) == str(expr)
+    assert interned.structural_key() == expr.structural_key()

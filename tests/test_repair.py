@@ -230,3 +230,75 @@ def test_unknown_solver_rejected(paper_sources, deriv_cluster):
     implementation = parse_python_source(paper_sources["I1"])
     with pytest.raises(ValueError):
         repair_against_cluster(implementation, deriv_cluster, solver="magic")
+
+
+# -- the fast path: cost-bounded search and candidate pruning ------------------------
+
+
+def _repair_fields(repair):
+    """Everything observable about a repair except wall-clock solve time."""
+    return repair.comparable_fields() if repair is not None else None
+
+
+def test_cost_bounded_search_is_field_identical(paper_sources, deriv_cases):
+    from repro.engine import RepairCaches
+
+    # Two singleton clusters force the search to visit a second cluster with
+    # a bound from the first.
+    clusters = [
+        cluster_programs([parse_python_source(paper_sources[name])], deriv_cases).clusters[0]
+        for name in ("C1", "C2")
+    ]
+    clusters[1].cluster_id = 1
+    for name in ("I1", "I2"):
+        implementation = parse_python_source(paper_sources[name])
+        unpruned = find_best_repair(
+            implementation, clusters, caches=RepairCaches(enabled=False), cost_bound=False
+        )
+        pruned = find_best_repair(
+            implementation, clusters, caches=RepairCaches(), cost_bound=True
+        )
+        assert _repair_fields(pruned) == _repair_fields(unpruned)
+
+
+def test_cost_bounded_search_skips_ted_dps(paper_sources, deriv_cases):
+    from repro.engine import RepairCaches
+
+    clusters = [
+        cluster_programs([parse_python_source(paper_sources[name])], deriv_cases).clusters[0]
+        for name in ("C1", "C2")
+    ]
+    clusters[1].cluster_id = 1
+    implementation = parse_python_source(paper_sources["I2"])
+
+    baseline = RepairCaches(enabled=False)
+    find_best_repair(implementation, clusters, caches=baseline, cost_bound=False)
+    fast = RepairCaches()
+    find_best_repair(implementation, clusters, caches=fast, cost_bound=True)
+
+    assert fast.ted.dp_runs < baseline.ted.dp_runs
+    assert fast.ted.memo_hits + fast.ted.lb_prunes > 0
+
+
+def test_generate_local_repairs_prunes_only_at_or_above_bound(
+    paper_sources, deriv_cluster
+):
+    implementation = parse_python_source(paper_sources["I2"])
+    location_map = structural_match(implementation, deriv_cluster.representative)
+    unbounded = generate_local_repairs(implementation, deriv_cluster, location_map)
+    costs = sorted(
+        c.cost for candidates in unbounded.values() for c in candidates if c.cost > 0
+    )
+    assert costs, "the corpus must produce costly candidates"
+    bound = float(costs[len(costs) // 2])
+
+    bounded = generate_local_repairs(
+        implementation, deriv_cluster, location_map, cost_bound=bound
+    )
+    assert set(bounded) == set(unbounded)
+    for site, candidates in unbounded.items():
+        surviving = [c for c in candidates if c.cost < bound]
+        assert bounded[site] == surviving, (
+            "pruning must drop exactly the candidates whose cost reaches the "
+            "bound, with identical costs for the survivors"
+        )
