@@ -12,6 +12,10 @@ Public API highlights:
 * :class:`repro.core.InputCase` — a test input with expected behaviour.
 * :class:`repro.engine.BatchRepairEngine` — concurrent corpus repair with
   shared trace/match/repair caching and aggregate reporting.
+* :class:`repro.service.RepairService` — the resident daemon: warm
+  per-problem engines behind an asyncio NDJSON front door
+  (``repro-clara serve``), with incremental
+  :class:`repro.clusterstore.ClusterStore` updates and hot reload.
 * :func:`repro.frontend.parse_source` — Python / mini-C front-ends.
 * :mod:`repro.datasets` — the nine assignments of the paper with synthetic
   student attempts.
@@ -31,15 +35,20 @@ from .core import (
     generate_feedback,
     is_correct,
 )
+from .clusterstore import ClusterStore
 from .engine import BatchRepairEngine, BatchReport, RepairCaches
 from .frontend import parse_source
+from .service import RepairService, ServiceClient
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BatchRepairEngine",
     "BatchReport",
     "Clara",
+    "ClusterStore",
+    "RepairService",
+    "ServiceClient",
     "Feedback",
     "InputCase",
     "Repair",

@@ -11,17 +11,25 @@ Examples::
     repro-clara cluster info clusters.json
     repro-clara batch --problem derivatives --attempts submissions/ \
         --clusters clusters.json --workers 4 --output report.jsonl
+    repro-clara serve --clusters clusters.json --port 9172
     repro-clara list-problems
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
+import os
 import sys
 from pathlib import Path
 
-from .clusterstore import ClusterStoreError, load_clusters
+from .clusterstore import (
+    FORMAT_VERSION,
+    ClusterStoreError,
+    load_clusters,
+    read_store_header,
+)
 from .core.pipeline import Clara
 from .datasets import all_problems, generate_corpus, get_problem
 from .engine import BatchAttempt, BatchRepairEngine
@@ -175,25 +183,47 @@ def _cmd_cluster_build(args: argparse.Namespace) -> int:
 
 
 def _cmd_cluster_info(args: argparse.Namespace) -> int:
+    # The header is read leniently — a store of any format version still
+    # identifies itself (version, revision, problem), so operators can tell
+    # a current store from a stale one without hitting the strict loader's
+    # rebuild-hint error.
+    try:
+        header = read_store_header(args.store)
+    except ClusterStoreError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    current = "" if header.is_current else f" (stale; this build reads {FORMAT_VERSION})"
+    print(f"cluster store: {args.store}")
+    print(f"format version: {header.format_version}{current}")
+    print(f"revision:       {header.revision}")
+    print(f"problem:        {header.problem or '(unknown)'}")
+    print(f"language:       {header.language}")
+    print(f"case signature: {header.case_signature[:16]}…")
+    print(f"clusters:       {header.cluster_count}")
+    print(f"members:        {header.total_members}")
+    if not header.is_current:
+        print(
+            "per-cluster statistics need a current-format store; rebuild with "
+            "'repro-clara cluster build' to serve from this one"
+        )
+        return 0
     try:
         stored = load_clusters(args.store, check_cases=False)
     except ClusterStoreError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    print(f"cluster store: {args.store}")
-    print(f"format version: {stored.format_version}")
-    print(f"problem:        {stored.problem or '(unknown)'}")
-    print(f"language:       {stored.language}")
-    print(f"case signature: {stored.case_signature[:16]}…")
-    print(f"clusters:       {stored.cluster_count}")
-    print(f"members:        {stored.total_members()}")
     for cluster in stored.clusters:
         pools = len(cluster.expressions)
         pool_exprs = sum(len(pool) for pool in cluster.expressions.values())
+        indexed = sum(
+            len(cluster.pool_index_for(loc_id, var))
+            for loc_id, var in cluster.expressions
+        )
         fingerprint = (cluster.fingerprint_digest or "")[:12] or "-"
         print(
             f"  cluster {cluster.cluster_id}: size={cluster.size} "
-            f"pools={pools} expressions={pool_exprs} fingerprint={fingerprint}"
+            f"pools={pools} expressions={pool_exprs} indexed={indexed} "
+            f"fingerprint={fingerprint}"
         )
     return 0
 
@@ -298,6 +328,69 @@ def _write_batch_profile(args, spec, profiler, clara, report) -> Path:
     return path
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import RepairServer, RepairService
+
+    try:
+        service = RepairService(
+            queue_size=args.queue_size,
+            workers=args.workers,
+            default_deadline=args.deadline,
+        )
+    except ValueError as exc:
+        # The service constructor owns the bounds (queue_size/workers >= 1);
+        # surface its message rather than duplicating the checks here.
+        print(str(exc), file=sys.stderr)
+        return 2
+    for store_path in args.clusters:
+        try:
+            runtime = service.add_problem(store_path)
+        except (ClusterStoreError, ValueError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        print(
+            f"loaded problem {runtime.name!r} from {store_path} "
+            f"(revision {runtime.revision}, "
+            f"{runtime.snapshot().engine.clara.cluster_count} clusters)",
+            file=sys.stderr,
+        )
+    server = RepairServer(service, host=args.host, port=args.port)
+
+    def announce(bound: "RepairServer") -> None:
+        print(
+            f"repro-clara service listening on {bound.host}:{bound.port} "
+            f"({len(service.problems())} problems, queue {args.queue_size}, "
+            f"{args.workers} workers)",
+            file=sys.stderr,
+        )
+        if args.ready_file:
+            # Readiness notification: supervisors (and the CI smoke job)
+            # poll this file to learn the bound address — essential with
+            # --port 0, where the kernel picks the port.  Written via a
+            # temp file + rename so a poller racing the write never reads
+            # an empty (created-but-unwritten) file.
+            ready = Path(args.ready_file)
+            tmp = ready.with_name(ready.name + ".tmp")
+            tmp.write_text(f"{bound.host} {bound.port}\n")
+            os.replace(tmp, ready)
+
+    try:
+        asyncio.run(server.serve(on_ready=announce))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+        if args.ready_file:
+            # A stale ready file would hand the next run's pollers a dead
+            # (or, with --port 0, wrong) address.
+            Path(args.ready_file).unlink(missing_ok=True)
+    print("service stopped", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-clara",
@@ -399,6 +492,46 @@ def build_parser() -> argparse.ArgumentParser:
         "candidate-gen, TED, ILP) to results/local/batch_profile.json",
     )
     p_batch.set_defaults(func=_cmd_batch)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the resident repair service (newline-delimited JSON over TCP)",
+        description="Serve repair requests from warm per-problem engines. Each "
+        "--clusters store names its problem; requests are one JSON object per "
+        "line (see docs/SERVICE.md). Exit codes: 0 = clean shutdown (via the "
+        "'shutdown' op or Ctrl-C), 2 = a store is missing, stale or names an "
+        "unknown problem.",
+    )
+    p_serve.add_argument(
+        "--clusters",
+        action="append",
+        required=True,
+        help="cluster store built by 'cluster build'; repeat to serve several problems",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument(
+        "--port", type=int, default=9172, help="TCP port (0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=64,
+        help="max repairs in flight before requests are rejected as overloaded",
+    )
+    p_serve.add_argument("--workers", type=int, default=4, help="repair worker threads")
+    p_serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="default per-request deadline in seconds (requests may override)",
+    )
+    p_serve.add_argument(
+        "--ready-file",
+        default=None,
+        help="write 'host port' to this file once the socket is bound "
+        "(readiness signal for supervisors; resolves --port 0)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     return parser
 

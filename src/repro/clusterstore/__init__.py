@@ -10,8 +10,9 @@ restarts:
 * :mod:`repro.clusterstore.serialize` — JSON encoding of expressions,
   programs and clusters (expression pools with provenance included);
 * :mod:`repro.clusterstore.store` — versioned on-disk cluster stores:
-  :func:`save_clusters` / :func:`load_clusters` plus the
-  ``repro-clara cluster build`` / ``cluster info`` CLI surface.
+  :func:`save_clusters` / :func:`load_clusters`, the incremental
+  :class:`ClusterStore` handle (``add_correct_source`` + revision counter),
+  and the ``repro-clara cluster build`` / ``cluster info`` CLI surface.
 
 Import layering: ``fingerprint`` sits *below* the core (only model/matching
 helpers), because ``core.clustering`` consults it; ``store`` sits *above*
@@ -28,20 +29,28 @@ __all__ = [
     "Fingerprint",
     "canonical_value",
     "program_fingerprint",
+    "AddOutcome",
+    "ClusterStore",
     "ClusterStoreError",
     "FORMAT_VERSION",
+    "StoreHeader",
     "StoredClustering",
     "case_signature",
     "load_clusters",
+    "read_store_header",
     "save_clusters",
 ]
 
 _STORE_EXPORTS = {
+    "AddOutcome",
+    "ClusterStore",
     "ClusterStoreError",
     "FORMAT_VERSION",
+    "StoreHeader",
     "StoredClustering",
     "case_signature",
     "load_clusters",
+    "read_store_header",
     "save_clusters",
 }
 

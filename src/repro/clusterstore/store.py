@@ -21,25 +21,45 @@ Invalidation rules (checked on load, see :func:`load_clusters`):
 Representative traces are deliberately not stored: the loader re-executes
 each representative on the case set at hand, which keeps stores small and
 doubles as an end-to-end revalidation of the decoded programs.
+
+Stores carry a monotonically increasing **revision** counter in the header
+(absent in stores written before revisions existed, read as 0).  The
+revision identifies a *content state* of one store file: every successful
+:meth:`ClusterStore.add_correct_source` bumps it, and a serving process
+(:mod:`repro.service`) reports the revision its answers were computed
+against, so operators can tell whether a running daemon has picked up an
+updated store.  The revision is metadata, not format — ``format_version``
+stays unchanged.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
-from ..core.clustering import Cluster
-from ..core.inputs import InputCase
+from ..core.clustering import Cluster, _canonical_order, _identity_witness
+from ..core.inputs import InputCase, program_traces, trace_passes_case
+from ..core.matching import find_matching
+from .fingerprint import program_fingerprint
 from .serialize import SerializationError, decode_cluster, encode_cluster
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.cache import RepairCaches
 
 __all__ = [
     "FORMAT_VERSION",
     "FORMAT_NAME",
     "ClusterStoreError",
+    "StoreHeader",
     "StoredClustering",
+    "ClusterStore",
+    "AddOutcome",
     "case_signature",
+    "read_store_header",
     "save_clusters",
     "load_clusters",
 ]
@@ -67,6 +87,32 @@ def case_signature(cases: Sequence[InputCase]) -> str:
     return hashlib.sha256(repr(case_set_key(cases)).encode()).hexdigest()
 
 
+@dataclass(frozen=True)
+class StoreHeader:
+    """Store metadata read without decoding (or validating) the clusters.
+
+    Produced by :func:`read_store_header`, which accepts *any* format
+    version — this is the "what is this file?" view that ``cluster info``
+    shows for stale stores without tripping the strict rebuild-hint error
+    of :func:`load_clusters`.
+    """
+
+    path: Path
+    format_version: int
+    revision: int
+    language: str
+    entry: str | None
+    problem: str | None
+    case_signature: str
+    cluster_count: int
+    total_members: int
+
+    @property
+    def is_current(self) -> bool:
+        """Whether this build's :func:`load_clusters` would accept the store."""
+        return self.format_version == FORMAT_VERSION
+
+
 class StoredClustering:
     """A decoded store: clusters plus the header metadata.
 
@@ -84,6 +130,7 @@ class StoredClustering:
         problem: str | None,
         case_signature: str,
         format_version: int,
+        revision: int = 0,
     ) -> None:
         self.clusters = clusters
         self.language = language
@@ -91,6 +138,7 @@ class StoredClustering:
         self.problem = problem
         self.case_signature = case_signature
         self.format_version = format_version
+        self.revision = revision
 
     @property
     def cluster_count(self) -> int:
@@ -108,16 +156,20 @@ def save_clusters(
     language: str = "python",
     entry: str | None = None,
     problem: str | None = None,
+    revision: int = 0,
 ) -> Path:
     """Serialize ``clusters`` (built against ``cases``) to ``path``.
 
     The document is written with sorted keys and a trailing newline so
-    identical clusterings produce byte-identical stores.
+    identical clusterings produce byte-identical stores.  ``revision`` is
+    the store's content revision (see the module docstring); a fresh build
+    writes 0, and :meth:`ClusterStore.save` passes the bumped counter.
     """
     path = Path(path)
     document = {
         "format": FORMAT_NAME,
         "format_version": FORMAT_VERSION,
+        "revision": revision,
         "language": language,
         "entry": entry,
         "problem": problem,
@@ -128,6 +180,51 @@ def save_clusters(
     }
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def _read_document(path: Path) -> dict:
+    """Read and JSON-parse a store file, checking only the format marker."""
+    try:
+        raw = path.read_text()
+    except OSError as exc:
+        raise ClusterStoreError(f"cannot read cluster store {path}: {exc}") from exc
+    try:
+        document = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ClusterStoreError(f"cluster store {path} is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict) or document.get("format") != FORMAT_NAME:
+        raise ClusterStoreError(
+            f"{path} is not a cluster store (missing '{FORMAT_NAME}' format marker)"
+        )
+    return document
+
+
+def read_store_header(path: str | Path) -> StoreHeader:
+    """Read a store's header metadata without decoding the clusters.
+
+    Unlike :func:`load_clusters` this accepts *any* format version — the
+    point is to let operators identify a store (version, revision, problem)
+    even when it is too old or too new to serve from.  Only the format
+    marker itself is validated.
+
+    Raises:
+        ClusterStoreError: Unreadable file, invalid JSON, or a file that is
+            not a cluster store at all.
+    """
+    path = Path(path)
+    document = _read_document(path)
+    version = document.get("format_version")
+    return StoreHeader(
+        path=path,
+        format_version=version if isinstance(version, int) else -1,
+        revision=document.get("revision", 0) or 0,
+        language=document.get("language", "python"),
+        entry=document.get("entry"),
+        problem=document.get("problem"),
+        case_signature=document.get("case_signature", ""),
+        cluster_count=document.get("cluster_count", 0) or 0,
+        total_members=document.get("total_members", 0) or 0,
+    )
 
 
 def load_clusters(
@@ -152,18 +249,7 @@ def load_clusters(
             format version, case-set mismatch, or malformed payload.
     """
     path = Path(path)
-    try:
-        raw = path.read_text()
-    except OSError as exc:
-        raise ClusterStoreError(f"cannot read cluster store {path}: {exc}") from exc
-    try:
-        document = json.loads(raw)
-    except json.JSONDecodeError as exc:
-        raise ClusterStoreError(f"cluster store {path} is not valid JSON: {exc}") from exc
-    if not isinstance(document, dict) or document.get("format") != FORMAT_NAME:
-        raise ClusterStoreError(
-            f"{path} is not a cluster store (missing '{FORMAT_NAME}' format marker)"
-        )
+    document = _read_document(path)
     version = document.get("format_version")
     if version != FORMAT_VERSION:
         raise ClusterStoreError(
@@ -190,4 +276,250 @@ def load_clusters(
         problem=document.get("problem"),
         case_signature=signature,
         format_version=version,
+        revision=document.get("revision", 0) or 0,
     )
+
+
+# -- incremental updates --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AddOutcome:
+    """Result of one :meth:`ClusterStore.add_correct_source` call.
+
+    Attributes:
+        status: ``"joined"`` (matched an existing cluster), ``"created"``
+            (minted a new cluster), or one of the rejection statuses
+            ``"rejected-parse"`` / ``"rejected-execution"`` /
+            ``"rejected-incorrect"``.  Rejections leave the store — and its
+            revision — untouched.
+        cluster_id: The cluster joined or created (``None`` on rejection).
+        detail: Human-readable reason for rejections, empty otherwise.
+        revision: The store's revision *after* this call.
+    """
+
+    status: str
+    cluster_id: int | None
+    detail: str
+    revision: int
+
+    @property
+    def accepted(self) -> bool:
+        return self.status in ("joined", "created")
+
+
+class ClusterStore:
+    """A mutable handle on one on-disk cluster store (load → update → save).
+
+    Where :func:`save_clusters`/:func:`load_clusters` treat a store as an
+    immutable snapshot rebuilt from scratch, a ``ClusterStore`` supports the
+    *incremental* deployment flow: as new correct submissions arrive, route
+    each through :meth:`add_correct_source` — which places it exactly where
+    a full re-clustering would — bump the revision, and :meth:`save` the
+    store atomically so a running :class:`repro.service.RepairService` can
+    hot-reload it between requests.
+
+    **Equivalence guarantee.**  ``add_correct_source(src)`` produces a store
+    field-identical to rebuilding from scratch with ``src`` appended to the
+    original correct pool (asserted in ``tests/test_store_updates.py``): the
+    new program is fingerprinted, tried against existing clusters in
+    creation order within its fingerprint bucket (first match wins, exactly
+    the order the exhaustive loop would use) and otherwise minted as a new
+    cluster with the next id — which is precisely where the deterministic
+    merge of :func:`repro.core.clustering.cluster_programs` would place it.
+
+    Thread safety: instances are **not** thread-safe — they are intended
+    for a single updater process (a course ingests new correct submissions
+    serially).  Readers are isolated by :meth:`save`'s atomic replace: a
+    concurrent :func:`load_clusters` sees either the old or the new file,
+    never a torn write.
+
+    Args:
+        path: The store file this handle reads and writes.
+        cases: The test-case set the clustering is relative to (Def. 4.4);
+            must match the store's ``case_signature``.
+        clusters: The decoded clusters, representative traces populated.
+        language: Source language of the member programs.
+        entry: Entry function name used when parsing new sources.
+        problem: Optional problem name recorded in the header.
+        revision: Current content revision.
+        caches: Optional :class:`repro.engine.cache.RepairCaches` through
+            which executions and fingerprints are routed.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        cases: Sequence[InputCase],
+        clusters: list[Cluster],
+        *,
+        language: str = "python",
+        entry: str | None = None,
+        problem: str | None = None,
+        revision: int = 0,
+        caches: "RepairCaches | None" = None,
+    ) -> None:
+        self.path = Path(path)
+        self.cases = cases
+        self.clusters = clusters
+        self.language = language
+        self.entry = entry
+        self.problem = problem
+        self._revision = revision
+        self.caches = caches
+
+    @classmethod
+    def open(
+        cls,
+        path: str | Path,
+        cases: Sequence[InputCase],
+        *,
+        caches: "RepairCaches | None" = None,
+        check_cases: bool = True,
+    ) -> "ClusterStore":
+        """Load ``path`` into a mutable handle.
+
+        Validates format version and (by default) the case signature, then
+        re-executes each representative on ``cases`` to rebuild the traces
+        that incremental matching needs.
+
+        Raises:
+            ClusterStoreError: see :func:`load_clusters`.
+        """
+        stored = load_clusters(path, cases=cases, check_cases=check_cases)
+        for cluster in stored.clusters:
+            cluster.representative_traces = list(
+                cls._traces(caches, cluster.representative, cases)
+            )
+        return cls(
+            path,
+            cases,
+            stored.clusters,
+            language=stored.language,
+            entry=stored.entry,
+            problem=stored.problem,
+            revision=stored.revision,
+            caches=caches,
+        )
+
+    @staticmethod
+    def _traces(caches: "RepairCaches | None", program, cases):
+        if caches is not None:
+            return caches.traces(program, cases)
+        return program_traces(program, cases)
+
+    @property
+    def revision(self) -> int:
+        """Monotonically increasing content revision (bumped per accepted add)."""
+        return self._revision
+
+    @property
+    def cluster_count(self) -> int:
+        return len(self.clusters)
+
+    def total_members(self) -> int:
+        return sum(cluster.size for cluster in self.clusters)
+
+    def add_correct_source(self, source: str) -> AddOutcome:
+        """Place one new correct submission without re-clustering the pool.
+
+        The source is parsed, executed on the store's cases and verified
+        correct; incorrect or unparseable submissions are rejected (MOOC
+        dumps routinely contain mislabelled data) and leave the store
+        unchanged.  An accepted program joins the first existing cluster it
+        matches — only clusters in its own fingerprint bucket are tried,
+        the same pruning the batch build uses — or becomes the
+        representative of a new cluster, and the revision is bumped.
+
+        Changes live in memory until :meth:`save` is called.
+
+        Returns:
+            An :class:`AddOutcome` naming the cluster joined/created (or
+            the rejection reason) and the resulting revision.
+        """
+        from ..frontend import FrontendError, parse_source
+
+        try:
+            program = parse_source(source, language=self.language, entry=self.entry)
+        except FrontendError as exc:
+            return AddOutcome("rejected-parse", None, str(exc), self._revision)
+        try:
+            traces = list(self._traces(self.caches, program, self.cases))
+        except Exception as exc:  # noqa: BLE001 - defensive: report, don't crash
+            return AddOutcome(
+                "rejected-execution", None, f"execution error: {exc}", self._revision
+            )
+        if not all(
+            trace_passes_case(trace, case) for trace, case in zip(traces, self.cases)
+        ):
+            return AddOutcome(
+                "rejected-incorrect",
+                None,
+                "submission does not pass the store's test cases",
+                self._revision,
+            )
+
+        if self.caches is not None:
+            fingerprint = self.caches.fingerprint(program, self.cases, traces=traces)
+        else:
+            fingerprint = program_fingerprint(program, traces)
+        order = _canonical_order(program)
+        for cluster in self.clusters:
+            in_bucket = cluster.fingerprint_digest == fingerprint.digest
+            if cluster.fingerprint_digest is not None and not in_bucket:
+                # A differing fingerprint proves the full match cannot
+                # succeed (matching invariance); clusters from stores built
+                # without pruning (digest None) are tried unconditionally.
+                continue
+            location_map = None
+            if in_bucket and order is not None:
+                rep_order = _canonical_order(cluster.representative)
+                if rep_order is not None:
+                    location_map = dict(zip(order, rep_order))
+            witness = find_matching(
+                program,
+                cluster.representative,
+                self.cases,
+                query_traces=traces,
+                base_traces=cluster.representative_traces,
+                location_map=location_map,
+            )
+            if witness is not None:
+                cluster.add_member(program, witness)
+                self._revision += 1
+                return AddOutcome("joined", cluster.cluster_id, "", self._revision)
+
+        cluster = Cluster(
+            cluster_id=max((c.cluster_id for c in self.clusters), default=-1) + 1,
+            representative=program,
+            representative_traces=traces,
+            fingerprint_digest=fingerprint.digest,
+        )
+        cluster.add_member(program, _identity_witness(program))
+        self.clusters.append(cluster)
+        self._revision += 1
+        return AddOutcome("created", cluster.cluster_id, "", self._revision)
+
+    def add_correct_sources(self, sources: Iterable[str]) -> list[AddOutcome]:
+        """Apply :meth:`add_correct_source` to each source, in order."""
+        return [self.add_correct_source(source) for source in sources]
+
+    def save(self) -> Path:
+        """Atomically persist the current clusters and revision.
+
+        The document is written to a sibling temporary file first and moved
+        into place with :func:`os.replace`, so concurrent readers (a serving
+        daemon hot-reloading the problem) never observe a torn store.
+        """
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        save_clusters(
+            tmp,
+            self.clusters,
+            self.cases,
+            language=self.language,
+            entry=self.entry,
+            problem=self.problem,
+            revision=self._revision,
+        )
+        os.replace(tmp, self.path)
+        return self.path

@@ -127,7 +127,17 @@ def generate_feedback(
         program: The original (incorrect) program; reserved for richer
             feedback rendering.
         generic_threshold: Cost above which a generic strategy message is
-            produced instead of per-expression feedback.
+            produced instead of per-expression feedback (§2.2's guard
+            against overwhelming suggestions).
+
+    Returns:
+        A :class:`Feedback` whose ``items`` hold one located, numbered
+        instruction per repair action — or a single generic strategy hint
+        when the repair cost exceeds ``generic_threshold``.
+
+    Thread safety: a pure function of its arguments; safe to call from any
+    thread.  The returned ``Feedback`` is shared by the repair memo across
+    duplicate attempts and must be treated as immutable.
     """
     if repair.cost > generic_threshold:
         return Feedback(

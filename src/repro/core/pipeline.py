@@ -106,6 +106,14 @@ class Clara:
             (:class:`repro.engine.cache.RepairCaches`).  Defaults to a fresh
             enabled instance; pass ``RepairCaches(enabled=False)`` to measure
             uncached baselines.
+
+    Thread safety: build the pipeline — ``add_correct_sources`` /
+    ``load_clusters`` — from a single thread, then repair from as many
+    threads as you like: the cluster list is treated as read-only during
+    repair and every mutable lookup goes through the lock-guarded caches.
+    That split is exactly how :class:`repro.engine.batch.BatchRepairEngine`
+    (worker threads) and :class:`repro.service.RepairService` (one warm
+    pipeline per problem, swapped whole on hot reload) use it.
     """
 
     cases: Sequence[InputCase]
@@ -247,12 +255,33 @@ class Clara:
         exactly as ``add_correct_programs`` would.  Returns the number of
         clusters loaded.
         """
-        from ..clusterstore.store import ClusterStoreError, load_clusters as _load
+        from ..clusterstore.store import load_clusters as _load
 
         stored = _load(path, cases=self.cases, check_cases=check_cases)
+        return self.register_stored_clustering(stored, origin=str(path))
+
+    def register_stored_clustering(self, stored, *, origin: str | None = None) -> int:
+        """Register an already-decoded :class:`~repro.clusterstore.store.\
+StoredClustering`.
+
+        Callers that decoded the store themselves (the service layer reads
+        each store exactly once, so the revision it reports is the revision
+        it loaded) use this instead of :meth:`load_clusters`.  Validates the
+        language, re-executes each representative on this pipeline's cases,
+        and registers the clusters.  Returns the number of clusters.
+
+        Args:
+            stored: The decoded store.
+            origin: Where the store came from (a path), named in error
+                messages so an operator serving several stores can tell
+                which file mismatched.
+        """
+        from ..clusterstore.store import ClusterStoreError
+
         if stored.language != self.language:
+            label = f"cluster store {origin}" if origin else "cluster store"
             raise ClusterStoreError(
-                f"cluster store {path} holds {stored.language!r} programs, but this "
+                f"{label} holds {stored.language!r} programs, but this "
                 f"pipeline repairs {self.language!r} attempts"
             )
         for cluster in stored.clusters:
@@ -417,6 +446,16 @@ class Clara:
         return outcome
 
     # -- introspection -----------------------------------------------------------
+
+    def forget_repair_memos(self) -> int:
+        """Evict this pipeline's memoized repair outcomes from the caches.
+
+        Call when retiring a pipeline whose ``RepairCaches`` lives on (a
+        service hot reload hands the shared caches to a successor): entries
+        keyed on this pipeline's identity would otherwise stay unreachable
+        in the cache forever.  Returns the number of entries evicted.
+        """
+        return self.caches.drop_repair_memos(self._memo_token)
 
     @property
     def cluster_count(self) -> int:

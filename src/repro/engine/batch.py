@@ -182,6 +182,13 @@ class BatchRepairEngine:
     cluster state and caches; the workloads release no GIL, so the speedup
     on CPU-bound corpora comes from the caches, while I/O-free scheduling
     overhead stays negligible.
+
+    Thread safety: :meth:`run` may be called repeatedly (each call snapshots
+    cache counters independently), and several engines may share one
+    ``Clara``; what must not happen concurrently is mutating the pipeline's
+    clusters (``add_correct_sources``/``load_clusters``) while a run is in
+    flight — the service layer swaps in a whole new engine instead
+    (:meth:`repro.service.service.ProblemRuntime.reload`).
     """
 
     def __init__(
@@ -219,22 +226,36 @@ class BatchRepairEngine:
 
     # -- public API --------------------------------------------------------------
 
-    def run(self, attempts: Iterable[str | BatchAttempt]) -> BatchReport:
+    def run(
+        self,
+        attempts: Iterable[str | BatchAttempt],
+        *,
+        budget: float | None = None,
+    ) -> BatchReport:
         """Repair every attempt and return the aggregated report.
 
         Accepts raw source strings (auto-numbered ``attempt-0``, ...) or
         :class:`BatchAttempt` objects.  Records are returned in submission
         order regardless of completion order, and a batch of size 1 produces
         byte-identical results to a sequential ``repair_source`` call.
+
+        Args:
+            attempts: The corpus to repair.
+            budget: Per-attempt budget for *this run only*, overriding the
+                engine-wide ``budget`` when given (the service layer passes
+                each request's deadline through here).
         """
         items = self._normalise(attempts)
+        effective_budget = self.budget if budget is None else budget
         before = self.clara.caches.stats.snapshot()
         started = time.perf_counter()
         if self.workers == 1 or len(items) <= 1:
-            outcomes = [self._repair_one(item) for item in items]
+            outcomes = [self._repair_one(item, effective_budget) for item in items]
         else:
             with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                outcomes = list(pool.map(self._repair_one, items))
+                outcomes = list(
+                    pool.map(lambda item: self._repair_one(item, effective_budget), items)
+                )
         wall_time = time.perf_counter() - started
         after = self.clara.caches.stats.snapshot()
         return BatchReport(
@@ -259,8 +280,8 @@ class BatchRepairEngine:
                 items.append(BatchAttempt(attempt_id=f"attempt-{index}", source=attempt))
         return items
 
-    def _repair_one(self, item: BatchAttempt) -> "RepairOutcome":
-        return self.clara._repair_attempt(item.source, budget=self.budget)
+    def _repair_one(self, item: BatchAttempt, budget: float | None) -> "RepairOutcome":
+        return self.clara._repair_attempt(item.source, budget=budget)
 
     @staticmethod
     def _record(item: BatchAttempt, outcome: "RepairOutcome") -> BatchRecord:

@@ -396,6 +396,22 @@ class RepairCaches:
 
     # -- maintenance ---------------------------------------------------------------
 
+    def drop_repair_memos(self, token: object) -> int:
+        """Evict memoized repair outcomes belonging to one pipeline identity.
+
+        ``token`` is a pipeline's memo token (the first element of every
+        repair ``context_key`` it stores).  Called when a pipeline is
+        retired — e.g. a service hot reload replacing one generation of
+        engine with the next — so a long-lived shared cache does not
+        accumulate unreachable entries for pipelines that no longer exist.
+        Returns the number of entries evicted.
+        """
+        with self._lock:
+            dead = [key for key in self._repairs if key[1][0] is token]
+            for key in dead:
+                del self._repairs[key]
+            return len(dead)
+
     def clear(self) -> None:
         """Drop all cached entries (counters are preserved)."""
         with self._lock:

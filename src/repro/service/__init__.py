@@ -1,0 +1,44 @@
+"""Repair-as-a-service: a resident front door over the batch engine.
+
+The engine (:mod:`repro.engine`) made corpus repair a single-process batch
+job; this package makes it a *resident service* — the deployment shape the
+paper's motivation actually calls for (feedback delivered to students while
+they work).  A :class:`RepairService` keeps one warm
+:class:`repro.engine.batch.BatchRepairEngine` and
+:class:`repro.engine.cache.RepairCaches` per problem, so every request from
+every client shares the interned-expression, trace, match, TED and repair
+memos instead of re-parsing pools and reloading cluster stores per
+invocation.
+
+Three layers, each usable on its own:
+
+* :mod:`repro.service.protocol` — the newline-delimited JSON request /
+  response format and its structured error codes;
+* :mod:`repro.service.service` — :class:`RepairService`: per-problem warm
+  state, bounded admission, per-request deadlines, hot reload of updated
+  cluster stores (in-flight requests keep the revision they started on);
+* :mod:`repro.service.server` — :class:`RepairServer`, the asyncio TCP
+  front end (``repro-clara serve``), and
+  :class:`repro.service.client.ServiceClient`, a tiny blocking client used
+  by the tests and the CI smoke job.
+
+Dependency direction: ``service → engine → core``; nothing below imports
+this package.
+"""
+
+from .client import ServiceClient
+from .protocol import PROTOCOL_VERSION, ProtocolError, Request, parse_request_line
+from .server import RepairServer
+from .service import ProblemRuntime, RepairService, ServiceStats
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProblemRuntime",
+    "ProtocolError",
+    "RepairServer",
+    "RepairService",
+    "Request",
+    "ServiceClient",
+    "ServiceStats",
+    "parse_request_line",
+]

@@ -1,0 +1,110 @@
+"""A minimal blocking client for the service protocol.
+
+Kept dependency-free (plain sockets) so the CI smoke job and operators can
+round-trip a request without the library's heavier machinery::
+
+    from repro.service import ServiceClient
+
+    with ServiceClient("127.0.0.1", 9172) as client:
+        client.ping()
+        response = client.repair("def f(x):\\n    return x", problem="square")
+        print(response["status"], response["feedback"])
+
+Equivalent by hand (the protocol is one JSON object per line)::
+
+    printf '{"op": "ping"}\\n' | nc 127.0.0.1 9172
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from .protocol import MAX_LINE_BYTES
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """One blocking TCP connection speaking the NDJSON protocol.
+
+    Args:
+        host: Server address.
+        port: Server port.
+        timeout: Socket timeout in seconds for connect and each response.
+
+    Thread safety: not thread-safe — requests and responses are paired by
+    order on one connection, so share a client between threads only with
+    external locking (or give each thread its own connection; the server
+    handles connections independently).
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float = 60.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- request primitives --------------------------------------------------------
+
+    def request(self, payload: dict) -> dict:
+        """Send one request object and return the decoded response object."""
+        self.send_raw(json.dumps(payload))
+        return self.read_response()
+
+    def send_raw(self, line: str) -> None:
+        """Send a raw line verbatim (tests use this to send malformed input)."""
+        self._file.write(line.encode("utf-8") + b"\n")
+        self._file.flush()
+
+    def read_response(self) -> dict:
+        line = self._file.readline(MAX_LINE_BYTES)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    # -- convenience ops -----------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def repair(
+        self,
+        source: str,
+        *,
+        problem: str | None = None,
+        request_id: object = None,
+        deadline: float | None = None,
+    ) -> dict:
+        payload: dict = {"op": "repair", "source": source}
+        if problem is not None:
+            payload["problem"] = problem
+        if request_id is not None:
+            payload["id"] = request_id
+        if deadline is not None:
+            payload["deadline"] = deadline
+        return self.request(payload)
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def reload(self, problem: str | None = None) -> dict:
+        payload: dict = {"op": "reload"}
+        if problem is not None:
+            payload["problem"] = problem
+        return self.request(payload)
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})

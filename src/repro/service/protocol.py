@@ -1,0 +1,158 @@
+"""The service wire format: newline-delimited JSON requests and responses.
+
+One request per line, one response line per request, in order.  A request
+is a JSON object with an ``op`` field; everything else depends on the op:
+
+``repair``
+    ``{"op": "repair", "problem": "derivatives", "source": "...",
+    "id": "attempt-7", "deadline": 5.0}`` — repair one attempt.  ``id`` is
+    echoed back verbatim; ``deadline`` (seconds, optional) bounds this
+    request and overrides the service default.  ``problem`` may be omitted
+    when the service hosts exactly one problem.
+``ping``
+    Liveness probe; answers immediately without touching any engine.
+``stats``
+    Service counters plus per-problem revision / cache statistics.
+``reload``
+    Re-read a problem's cluster store from disk and swap it in.  In-flight
+    repairs keep the engine (and revision) they were admitted with.
+``shutdown``
+    Ask the server to stop accepting connections and exit cleanly.
+
+Every response is a JSON object with ``"ok": true`` or ``"ok": false``.
+Failures are *structured*, never disconnections: a malformed line yields
+``{"ok": false, "error": {"code": "bad-json", ...}}`` and the connection
+stays open (the one exception is an over-long line, which cannot be
+re-synchronised and closes the connection after the error response).
+
+Error codes: ``bad-json`` (line is not valid JSON), ``bad-request``
+(valid JSON but not a valid request), ``unknown-op``, ``unknown-problem``,
+``overloaded`` (admission queue full), ``internal`` (unexpected server-side
+failure).
+
+All protocol values are machine-independent except ``elapsed`` on repair
+responses, which is wall-clock and informational only.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "ProtocolError",
+    "Request",
+    "parse_request",
+    "parse_request_line",
+    "error_payload",
+]
+
+#: Bump when the wire format changes incompatibly.  Responses to ``ping``
+#: and ``stats`` carry it so clients can detect a mismatched server.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one request line (and the asyncio stream read limit).
+#: Student submissions are a few KiB; 4 MiB leaves two orders of magnitude
+#: of headroom while bounding a single client's buffer footprint.
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+#: The operations a server understands.
+OPS = ("repair", "ping", "stats", "reload", "shutdown")
+
+
+class ProtocolError(ValueError):
+    """A request that cannot be served, with its wire-format error code."""
+
+    def __init__(self, code: str, message: str, request_id: object = None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.request_id = request_id
+
+
+@dataclass(frozen=True)
+class Request:
+    """A parsed, validated request line.
+
+    Attributes:
+        op: One of :data:`OPS`.
+        problem: Target problem name (``repair``/``reload``; optional when
+            the service hosts a single problem).
+        source: Attempt source text (``repair`` only).
+        request_id: Client-chosen identifier echoed back verbatim.
+        deadline: Per-request wall-clock bound in seconds, overriding the
+            service default; ``None`` inherits the default.
+    """
+
+    op: str
+    problem: str | None = None
+    source: str | None = None
+    request_id: Any = None
+    deadline: float | None = None
+
+
+def parse_request(payload: object) -> Request:
+    """Validate a decoded JSON payload into a :class:`Request`.
+
+    Raises:
+        ProtocolError: ``bad-request`` for structural problems, carrying
+            the payload's ``id`` (when present) so the error response can
+            still be correlated; ``unknown-op`` for an unrecognised ``op``.
+    """
+    if not isinstance(payload, dict):
+        raise ProtocolError("bad-request", "request must be a JSON object")
+    request_id = payload.get("id")
+    op = payload.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("bad-request", "missing string 'op' field", request_id)
+    if op not in OPS:
+        raise ProtocolError(
+            "unknown-op", f"unknown op {op!r} (expected one of {', '.join(OPS)})",
+            request_id,
+        )
+    problem = payload.get("problem")
+    if problem is not None and not isinstance(problem, str):
+        raise ProtocolError("bad-request", "'problem' must be a string", request_id)
+    source = payload.get("source")
+    if op == "repair":
+        if not isinstance(source, str):
+            raise ProtocolError(
+                "bad-request", "repair requests need a string 'source' field",
+                request_id,
+            )
+    deadline = payload.get("deadline")
+    if deadline is not None:
+        if isinstance(deadline, bool) or not isinstance(deadline, (int, float)):
+            raise ProtocolError(
+                "bad-request", "'deadline' must be a number of seconds", request_id
+            )
+        deadline = float(deadline)
+    return Request(
+        op=op, problem=problem, source=source, request_id=request_id, deadline=deadline
+    )
+
+
+def parse_request_line(line: str) -> Request:
+    """Parse one wire line into a :class:`Request`.
+
+    Raises:
+        ProtocolError: ``bad-json`` when the line is not valid JSON, plus
+            everything :func:`parse_request` raises.
+    """
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError("bad-json", f"invalid JSON: {exc}") from exc
+    return parse_request(payload)
+
+
+def error_payload(code: str, message: str, request_id: object = None) -> dict:
+    """A structured error response body."""
+    response: dict = {"ok": False, "error": {"code": code, "message": message}}
+    if request_id is not None:
+        response["id"] = request_id
+    return response

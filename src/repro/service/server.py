@@ -1,0 +1,136 @@
+"""Asyncio TCP front end for :class:`~repro.service.service.RepairService`.
+
+One connection handler per client, one JSON line in, one JSON line out, in
+order per connection (different connections proceed concurrently).  The
+server never disconnects a client for sending garbage — malformed lines
+get structured error responses — with one exception: a line exceeding
+:data:`~repro.service.protocol.MAX_LINE_BYTES` cannot be re-synchronised,
+so the server answers with a ``bad-request`` error and closes that
+connection.
+
+Shutdown: an authenticated transport is out of scope for this
+reproduction, so any client may send ``{"op": "shutdown"}`` — the server
+answers it, stops accepting connections, closes the remaining ones and
+returns from :meth:`RepairServer.serve`.  Bind to localhost (the default)
+when that matters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Callable
+
+from .protocol import MAX_LINE_BYTES, error_payload
+from .service import RepairService
+
+__all__ = ["DEFAULT_HOST", "DEFAULT_PORT", "RepairServer"]
+
+DEFAULT_HOST = "127.0.0.1"
+#: Default TCP port ("clara" on a phone keypad, wrapped into the dynamic range).
+DEFAULT_PORT = 9172
+
+
+class RepairServer:
+    """The TCP line pump over a :class:`RepairService`.
+
+    Args:
+        service: The service handling parsed requests.
+        host: Interface to bind (default localhost).
+        port: TCP port; ``0`` picks an ephemeral port, readable from
+            :attr:`port` once :meth:`serve` has bound (the tests do this).
+
+    Thread safety: :meth:`serve` runs on one event loop;
+    :meth:`request_stop` is the only method safe to call from other
+    threads.
+    """
+
+    def __init__(
+        self,
+        service: RepairService,
+        *,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+
+    async def serve(self, on_ready: Callable[["RepairServer"], None] | None = None) -> None:
+        """Bind, serve until a shutdown is requested, then close cleanly.
+
+        ``on_ready`` is invoked once the socket is bound (with :attr:`port`
+        resolved), which is how the CLI prints the listening address and
+        how tests learn the ephemeral port.
+        """
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle_client, self.host, self.port, limit=MAX_LINE_BYTES
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        if on_ready is not None:
+            on_ready(self)
+        async with server:
+            await self._stop.wait()
+            for writer in list(self._writers):
+                writer.close()
+
+    def request_stop(self) -> None:
+        """Ask a running :meth:`serve` to return; safe from any thread.
+
+        A no-op when the server already stopped (the loop is closed).
+        """
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # The line exceeded the stream limit; the remainder of
+                    # the buffer is unparseable, so answer and disconnect.
+                    await self._send(
+                        writer,
+                        error_payload(
+                            "bad-request",
+                            f"request line exceeds {MAX_LINE_BYTES} bytes",
+                        ),
+                    )
+                    break
+                if not line:
+                    break
+                text = line.decode("utf-8", errors="replace").strip()
+                if not text:
+                    continue
+                response = await self.service.handle_line(text)
+                await self._send(writer, response)
+                if response.get("ok") and response.get("op") == "shutdown":
+                    if self._stop is not None:
+                        self._stop.set()
+                    break
+        except ConnectionError:
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, response: dict) -> None:
+        writer.write(json.dumps(response).encode("utf-8") + b"\n")
+        await writer.drain()

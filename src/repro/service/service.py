@@ -1,0 +1,479 @@
+"""The resident repair service: warm per-problem engines behind asyncio.
+
+A :class:`RepairService` is the transport-independent core of the daemon:
+it owns one :class:`ProblemRuntime` per hosted problem — a configured
+:class:`~repro.core.pipeline.Clara`, its
+:class:`~repro.engine.cache.RepairCaches` and a
+:class:`~repro.engine.batch.BatchRepairEngine` — and turns protocol
+:class:`~repro.service.protocol.Request` objects into response dicts.  The
+TCP front end (:mod:`repro.service.server`) is a thin line-pump over
+:meth:`RepairService.handle_line`; tests drive the service directly.
+
+Concurrency model.  Repairs are CPU-bound synchronous work, so the asyncio
+handler dispatches them to a bounded :class:`~concurrent.futures.\
+ThreadPoolExecutor` and awaits the result.  Admission control is a counter:
+at most ``queue_size`` repairs may be in flight (queued or running); the
+next one is rejected immediately with an ``overloaded`` error rather than
+building an unbounded backlog.  Per-request deadlines are enforced twice —
+as the engine's per-attempt ``budget`` (bounding the cluster search) and as
+an ``asyncio.wait_for`` timeout on the executor future (bounding parse and
+solver overruns); whichever trips first yields a ``timeout`` status.  A
+deadline that fires cannot interrupt the worker thread mid-repair — the
+thread finishes and its slot frees then — so ``queue_size`` should exceed
+``workers`` by the burst you want to absorb, not by orders of magnitude.
+
+Hot reload.  :meth:`RepairService.reload` re-reads a problem's cluster
+store from disk and atomically swaps in a fresh pipeline *sharing the old
+RepairCaches* — trace, TED and match memos stay warm (they are keyed on
+program structure, not on the clustering), while repair memos
+self-invalidate via the new pipeline's identity token.  Requests admitted
+before the swap keep the engine object they snapshotted, so in-flight work
+is never dropped and every response reports the store revision it was
+actually computed against.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from ..clusterstore.store import ClusterStoreError, case_signature, load_clusters
+from ..core.inputs import InputCase
+from ..core.pipeline import Clara
+from ..engine.batch import BatchAttempt, BatchRecord, BatchRepairEngine
+from .protocol import PROTOCOL_VERSION, ProtocolError, Request, error_payload
+from .protocol import parse_request_line
+
+__all__ = ["ProblemRuntime", "RepairService", "ServiceStats"]
+
+#: Default bound on concurrently admitted repair requests.
+DEFAULT_QUEUE_SIZE = 64
+#: Default repair worker threads.
+DEFAULT_WORKERS = 4
+
+
+@dataclass(frozen=True)
+class _ProblemState:
+    """One immutable (revision, engine) pair; swapped whole on reload."""
+
+    revision: int
+    engine: BatchRepairEngine
+
+
+class ProblemRuntime:
+    """Warm serving state for one problem.
+
+    Holds the shared caches and the current :class:`_ProblemState`.  The
+    state is replaced atomically by :meth:`reload`; request handlers call
+    :meth:`snapshot` once at admission and use that state for the whole
+    request, which is what keeps in-flight work on the old revision.
+
+    Thread safety: :meth:`snapshot` and :meth:`reload` may be called from
+    any thread (reloads are serialised by a lock; the snapshot read is a
+    single attribute load, atomic under the GIL).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        store_path: Path,
+        cases: Sequence[InputCase],
+        language: str,
+        entry: str | None,
+        state: _ProblemState,
+        clara: Clara,
+    ) -> None:
+        self.name = name
+        self.store_path = store_path
+        self.cases = cases
+        self.language = language
+        self.entry = entry
+        self.caches = clara.caches
+        self._state = state
+        self._reload_lock = threading.Lock()
+
+    def snapshot(self) -> _ProblemState:
+        """The current (revision, engine) pair; stable for one request."""
+        return self._state
+
+    @property
+    def revision(self) -> int:
+        return self._state.revision
+
+    def reload(self) -> tuple[int, int]:
+        """Re-read the store from disk and swap in a fresh engine.
+
+        The new pipeline shares this runtime's ``RepairCaches`` (structure-
+        keyed memos stay warm; repair memos are invalidated by the pipeline
+        identity token).  Returns ``(old_revision, new_revision)``.
+
+        Raises:
+            ClusterStoreError: The file on disk is missing, stale or built
+                for different cases; the old state keeps serving.
+        """
+        with self._reload_lock:
+            old = self._state
+            # One read: the revision reported by responses is taken from the
+            # same decoded document as the clusters themselves, so a save
+            # racing this reload can never produce a mismatched pair.
+            stored = load_clusters(self.store_path, cases=self.cases)
+            clara = Clara(
+                cases=self.cases,
+                language=self.language,
+                entry=self.entry,
+                caches=self.caches,
+            )
+            clara.register_stored_clustering(stored, origin=str(self.store_path))
+            self._state = _ProblemState(
+                revision=stored.revision,
+                engine=BatchRepairEngine(clara, workers=1),
+            )
+            # The replaced pipeline's repair memos are unreachable from now
+            # on (new identity token); evict them so a daemon reloading per
+            # accepted submission does not leak one generation per reload.
+            # In-flight requests on the old engine just recompute on a miss.
+            old.engine.clara.forget_repair_memos()
+            return old.revision, self._state.revision
+
+
+class ServiceStats:
+    """Thread-safe service counters (all monotonic except ``in_flight``)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.repairs = 0
+        self.errors = 0
+        self.rejected_overload = 0
+        self.deadline_timeouts = 0
+        self.reloads = 0
+        self.in_flight = 0
+
+    def as_dict(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "repairs": self.repairs,
+                "errors": self.errors,
+                "rejected_overload": self.rejected_overload,
+                "deadline_timeouts": self.deadline_timeouts,
+                "reloads": self.reloads,
+                "in_flight": self.in_flight,
+            }
+
+    def bump(self, field: str, delta: int = 1) -> None:
+        with self._lock:
+            setattr(self, field, getattr(self, field) + delta)
+
+
+class RepairService:
+    """Async front door: many clients, one warm engine per problem.
+
+    Args:
+        queue_size: Maximum repairs in flight (queued + running); the next
+            request is rejected with an ``overloaded`` error.
+        workers: Repair worker threads shared by all problems.
+        default_deadline: Per-request wall-clock bound in seconds applied
+            when a request carries no ``deadline`` field; ``None`` means
+            unbounded.
+
+    Thread safety: :meth:`handle`/:meth:`handle_line` are coroutines meant
+    to run on one event loop; the underlying state (admission counter,
+    stats, runtimes) is lock-guarded, so :meth:`reload` and
+    :meth:`stats_snapshot` may additionally be called from other threads
+    (the tests do).
+    """
+
+    def __init__(
+        self,
+        *,
+        queue_size: int = DEFAULT_QUEUE_SIZE,
+        workers: int = DEFAULT_WORKERS,
+        default_deadline: float | None = None,
+    ) -> None:
+        if queue_size < 1:
+            raise ValueError(f"queue_size must be >= 1, got {queue_size}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.queue_size = queue_size
+        self.default_deadline = default_deadline
+        self.stats = ServiceStats()
+        self._problems: dict[str, ProblemRuntime] = {}
+        self._admission_lock = threading.Lock()
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repair"
+        )
+
+    # -- problem management ------------------------------------------------------
+
+    def add_problem(
+        self,
+        store_path: str | Path,
+        *,
+        problem: str | None = None,
+        cases: Sequence[InputCase] | None = None,
+        language: str | None = None,
+        entry: str | None = None,
+    ) -> ProblemRuntime:
+        """Load a cluster store and start serving its problem.
+
+        The store names its problem; cases default to the registered
+        :class:`repro.datasets.ProblemSpec` of that name, so the usual call
+        is just ``service.add_problem("derivatives.json")``.  Explicit
+        ``cases``/``language``/``entry`` override the registry (for
+        problems that are not part of the paper's nine).
+
+        Raises:
+            ClusterStoreError: Missing/unreadable store, stale format
+                version, or case-signature mismatch.
+            KeyError: The store names a problem the dataset registry does
+                not know and no explicit ``cases`` were given.
+            ValueError: The store has no problem name and none was passed.
+        """
+        store_path = Path(store_path)
+        # One read serves both the problem-name lookup and the clusters, so
+        # the reported revision always matches the loaded clustering.  The
+        # case signature is checked manually below because the cases are
+        # only known once the store has named its problem.
+        stored = load_clusters(store_path)
+        name = problem or stored.problem
+        if name is None:
+            raise ValueError(
+                f"cluster store {store_path} records no problem name; pass problem="
+            )
+        if name in self._problems:
+            raise ValueError(
+                f"problem {name!r} is already served (from "
+                f"{self._problems[name].store_path}); refusing to silently "
+                f"replace it with {store_path}"
+            )
+        if cases is None:
+            from ..datasets import get_problem
+
+            spec = get_problem(name)
+            cases = spec.cases
+            language = spec.language if language is None else language
+            entry = spec.entry if entry is None else entry
+        language = language or "python"
+        if stored.case_signature != case_signature(cases):
+            raise ClusterStoreError(
+                f"cluster store {store_path} was built against a different "
+                f"test-case set than problem {name!r} uses; rebuild it with "
+                f"'repro-clara cluster build'"
+            )
+        clara = Clara(cases=cases, language=language, entry=entry)
+        clara.register_stored_clustering(stored)
+        runtime = ProblemRuntime(
+            name=name,
+            store_path=store_path,
+            cases=cases,
+            language=language,
+            entry=entry,
+            state=_ProblemState(
+                revision=stored.revision, engine=BatchRepairEngine(clara, workers=1)
+            ),
+            clara=clara,
+        )
+        self._problems[name] = runtime
+        return runtime
+
+    def problems(self) -> list[ProblemRuntime]:
+        return list(self._problems.values())
+
+    def reload(self, problem: str | None = None) -> tuple[int, int]:
+        """Hot-reload one problem's store (see :meth:`ProblemRuntime.reload`)."""
+        runtime = self._resolve(problem)
+        result = runtime.reload()
+        self.stats.bump("reloads")
+        return result
+
+    def _resolve(self, problem: str | None) -> ProblemRuntime:
+        if problem is None:
+            if len(self._problems) == 1:
+                return next(iter(self._problems.values()))
+            raise ProtocolError(
+                "bad-request",
+                "request names no problem and the service hosts "
+                f"{len(self._problems)} — pass 'problem'",
+            )
+        runtime = self._problems.get(problem)
+        if runtime is None:
+            raise ProtocolError(
+                "unknown-problem",
+                f"problem {problem!r} is not served here "
+                f"(hosting: {', '.join(sorted(self._problems)) or 'none'})",
+            )
+        return runtime
+
+    # -- request handling --------------------------------------------------------
+
+    async def handle_line(self, line: str) -> dict:
+        """Parse one wire line and dispatch it; never raises for bad input."""
+        try:
+            request = parse_request_line(line)
+        except ProtocolError as exc:
+            self.stats.bump("errors")
+            return error_payload(exc.code, exc.message, exc.request_id)
+        return await self.handle(request)
+
+    async def handle(self, request: Request) -> dict:
+        """Dispatch one parsed request to its op handler."""
+        self.stats.bump("requests")
+        try:
+            if request.op == "repair":
+                return await self._handle_repair(request)
+            if request.op == "ping":
+                return self._base_response(request, protocol=PROTOCOL_VERSION)
+            if request.op == "stats":
+                return self._base_response(
+                    request, protocol=PROTOCOL_VERSION, **self.stats_snapshot()
+                )
+            if request.op == "reload":
+                # Store decode + representative re-execution is CPU work;
+                # run it off the event loop (on the default executor, not
+                # the repair pool, so a backlog of repairs cannot starve an
+                # operator's reload) to keep pings and response writes live.
+                runtime = self._resolve(request.problem)
+                loop = asyncio.get_running_loop()
+                old, new = await loop.run_in_executor(None, self.reload, runtime.name)
+                return self._base_response(
+                    request,
+                    problem=runtime.name,
+                    previous_revision=old,
+                    revision=new,
+                )
+            if request.op == "shutdown":
+                # The transport layer watches for this response and stops;
+                # the service itself has nothing to tear down per-request.
+                return self._base_response(request)
+            raise ProtocolError("unknown-op", f"unknown op {request.op!r}")
+        except ProtocolError as exc:
+            self.stats.bump("errors")
+            return error_payload(exc.code, exc.message, request.request_id)
+        except Exception as exc:  # noqa: BLE001 - a request must never kill the loop
+            self.stats.bump("errors")
+            return error_payload(
+                "internal", f"{type(exc).__name__}: {exc}", request.request_id
+            )
+
+    async def _handle_repair(self, request: Request) -> dict:
+        runtime = self._resolve(request.problem)
+        with self._admission_lock:
+            if self.stats.in_flight >= self.queue_size:
+                self.stats.bump("rejected_overload")
+                self.stats.bump("errors")
+                return error_payload(
+                    "overloaded",
+                    f"{self.queue_size} repairs already in flight",
+                    request.request_id,
+                )
+            self.stats.bump("in_flight")
+        # Snapshot after admission: a reload during this request must not
+        # switch it to the new engine mid-flight.
+        state = runtime.snapshot()
+        deadline = (
+            request.deadline if request.deadline is not None else self.default_deadline
+        )
+        # Submit to the pool directly so the admission slot is released by
+        # the *worker's* done-callback — i.e. when the repair truly ends
+        # (or is cancelled before starting), not when a deadline abandons
+        # it.  An abandoned repair therefore keeps holding its slot, which
+        # is what makes queue_size a real bound on backlogged work.
+        try:
+            worker_future = self._executor.submit(
+                self._repair_sync, state.engine, request, deadline
+            )
+        except BaseException:
+            # submit can fail (e.g. the pool was shut down under a racing
+            # close()); without a worker there is no done-callback, so the
+            # slot must be released here or it leaks forever.
+            self.stats.bump("in_flight", -1)
+            raise
+        worker_future.add_done_callback(lambda _f: self.stats.bump("in_flight", -1))
+        future = asyncio.wrap_future(worker_future)
+        try:
+            if deadline is not None:
+                record = await asyncio.wait_for(future, timeout=max(0.0, deadline))
+            else:
+                record = await future
+        except asyncio.TimeoutError:
+            self.stats.bump("deadline_timeouts")
+            return self._base_response(
+                request,
+                problem=runtime.name,
+                revision=state.revision,
+                status="timeout",
+                detail=f"deadline of {deadline}s exceeded",
+            )
+        self.stats.bump("repairs")
+        return self._record_response(request, runtime.name, state.revision, record)
+
+    def _repair_sync(
+        self, engine: BatchRepairEngine, request: Request, deadline: float | None
+    ) -> BatchRecord:
+        """Worker-thread body: one batch of size 1 on the snapshotted engine.
+
+        The request deadline doubles as the engine's per-attempt budget, so
+        the cluster search self-limits (yielding the paper's ``timeout``
+        status) even when the asyncio-side timer has already abandoned this
+        thread's result.
+        """
+        attempt_id = (
+            str(request.request_id) if request.request_id is not None else "request"
+        )
+        report = engine.run(
+            [BatchAttempt(attempt_id=attempt_id, source=request.source)],
+            budget=deadline,
+        )
+        return report.records[0]
+
+    @staticmethod
+    def _base_response(request: Request, **fields) -> dict:
+        response: dict = {"ok": True, "op": request.op}
+        if request.request_id is not None:
+            response["id"] = request.request_id
+        response.update(fields)
+        return response
+
+    def _record_response(
+        self, request: Request, problem: str, revision: int, record: BatchRecord
+    ) -> dict:
+        return self._base_response(
+            request,
+            problem=problem,
+            revision=revision,
+            status=record.status,
+            detail=record.detail,
+            cost=record.cost,
+            relative_size=record.relative_size,
+            num_modified=record.num_modified,
+            feedback=record.feedback,
+            elapsed=round(record.elapsed, 6),
+        )
+
+    # -- introspection and lifecycle ---------------------------------------------
+
+    def stats_snapshot(self) -> dict:
+        """Service counters plus per-problem revision and cache statistics."""
+        return {
+            "service": self.stats.as_dict(),
+            "queue_size": self.queue_size,
+            "problems": {
+                runtime.name: {
+                    "revision": runtime.revision,
+                    "clusters": runtime.snapshot().engine.clara.cluster_count,
+                    "cache": runtime.caches.stats.as_dict(),
+                    "cache_entries": runtime.caches.entry_counts(),
+                    "ted": runtime.caches.ted.counters(),
+                }
+                for runtime in self._problems.values()
+            },
+        }
+
+    def close(self) -> None:
+        """Shut the worker pool down (finishes in-flight repairs)."""
+        self._executor.shutdown(wait=True)
