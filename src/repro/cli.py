@@ -318,6 +318,7 @@ def _write_batch_profile(args, spec, profiler, clara, report) -> Path:
         "workers": args.workers,
         "phases": profiler.as_dict(),
         "ted": clara.caches.ted.counters(),
+        "compile": clara.caches.compiled.counters(),
         "cache": report.cache_stats.as_dict(),
         "cache_entries": clara.caches.entry_counts(),
     }
@@ -488,7 +489,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument(
         "--profile",
         action="store_true",
-        help="emit a per-phase timing/counter breakdown (parse, match, "
+        help="emit a per-phase timing/counter breakdown (parse, exec, match, "
         "candidate-gen, TED, ILP) to results/local/batch_profile.json",
     )
     p_batch.set_defaults(func=_cmd_batch)

@@ -12,7 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from ..interpreter.executor import ExecutionLimits, execute, printed_output, returned_value
+from ..interpreter.compile import CompileCache
+from ..interpreter.executor import (
+    ExecutionLimits,
+    ExecutionPlan,
+    execute,
+    printed_output,
+    returned_value,
+)
 from ..interpreter.values import is_undef, values_equal
 from ..model.expr import VAR_STDIN
 from ..model.program import Program
@@ -72,17 +79,38 @@ class InputCase:
 
 
 def run_case(
-    program: Program, case: InputCase, limits: ExecutionLimits | None = None
+    program: Program,
+    case: InputCase,
+    limits: ExecutionLimits | None = None,
+    *,
+    plan: ExecutionPlan | None = None,
+    compile_cache: CompileCache | None = None,
 ) -> Trace:
-    """Execute ``program`` on one case and return the trace."""
-    return execute(program, case.memory_for(program), limits)
+    """Execute ``program`` on one case and return the trace.
+
+    A precompiled ``plan`` may be passed when the caller runs the same
+    program on many cases (see :func:`program_traces`); ``compile_cache``
+    selects the compile memo used when building a plan here.
+    """
+    return execute(
+        program,
+        case.memory_for(program),
+        limits,
+        plan=plan,
+        compile_cache=compile_cache,
+    )
 
 
 def passes_case(
-    program: Program, case: InputCase, limits: ExecutionLimits | None = None
+    program: Program,
+    case: InputCase,
+    limits: ExecutionLimits | None = None,
+    *,
+    plan: ExecutionPlan | None = None,
+    compile_cache: CompileCache | None = None,
 ) -> bool:
     """Return ``True`` when the program's behaviour matches the case."""
-    trace = run_case(program, case, limits)
+    trace = run_case(program, case, limits, plan=plan, compile_cache=compile_cache)
     return trace_passes_case(trace, case)
 
 
@@ -109,19 +137,27 @@ def is_correct(
     program: Program,
     cases: Sequence[InputCase],
     limits: ExecutionLimits | None = None,
+    *,
+    compile_cache: CompileCache | None = None,
 ) -> bool:
     """A program is correct when it passes every case."""
-    return all(passes_case(program, case, limits) for case in cases)
+    plan = ExecutionPlan.for_program(program, cache=compile_cache)
+    return all(passes_case(program, case, limits, plan=plan) for case in cases)
 
 
 def program_traces(
     program: Program,
     cases: Sequence[InputCase],
     limits: ExecutionLimits | None = None,
+    *,
+    compile_cache: CompileCache | None = None,
 ) -> list[Trace]:
     """Execute a program on every case, returning one trace per case.
 
     Used by matching, clustering and the engine's trace cache; the returned
-    list is parallel to ``cases``.
+    list is parallel to ``cases``.  The program's update expressions are
+    compiled once (through ``compile_cache``, defaulting to the
+    process-wide cache) and the resulting plan is shared across cases.
     """
-    return [run_case(program, case, limits) for case in cases]
+    plan = ExecutionPlan.for_program(program, cache=compile_cache)
+    return [run_case(program, case, limits, plan=plan) for case in cases]

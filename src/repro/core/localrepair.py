@@ -15,11 +15,20 @@ Partial variable relations are enumerated only over the variables occurring
 in the expression at hand (plus the assigned variable), which the paper notes
 keeps the enumeration feasible.
 
-The fast path (docs/ARCHITECTURE.md, "Repair fast path"):
+The fast path (docs/ARCHITECTURE.md, "Repair fast path" and "Execution
+fast path"):
 
 * the representative expression's value at each trace visit is evaluated
   once per (location, variable) — via :meth:`Cluster.reference_values` —
   instead of once per candidate relation;
+* candidate screening (Def. 4.5) evaluates candidates through the
+  compiled-expression cache when one is threaded in
+  (:class:`repro.interpreter.compile.CompileCache`, from
+  ``RepairCaches.compiled``): each translated candidate compiles to a
+  closure once and is then applied to every recorded pre-state, instead of
+  re-walking its tree per visit.  ``compile_cache=None`` keeps the
+  interpreted reference semantics (:func:`repro.interpreter.evaluate`),
+  which benchmarks compare against;
 * pool expressions carry precomputed indexes
   (:class:`repro.core.clustering.PoolEntryIndex`): their variable sets feed
   the relation enumeration, and their tree annotations are *renamed* (an
@@ -40,6 +49,7 @@ from dataclasses import dataclass
 from itertools import permutations
 from typing import Iterable, Iterator, Mapping, Sequence
 
+from ..interpreter.compile import CompileCache
 from ..interpreter.evaluator import evaluate
 from ..interpreter.values import values_equal
 from ..model.expr import Expr, Var, intern_expr
@@ -108,19 +118,29 @@ def expressions_match(
     reference: Expr,
     traces: Sequence[Trace],
     loc_id: int,
+    *,
+    compile_cache: CompileCache | None = None,
 ) -> bool:
     """Expression matching ``candidate ≃_{Γ,ℓ} reference`` (Def. 4.5).
 
     Both expressions must range over the representative's variables; they are
     evaluated on the pre-state of every visit to ``loc_id`` in the
-    representative traces.
+    representative traces (via the per-location step index,
+    :meth:`Trace.steps_at`).  With a ``compile_cache``, both expressions are
+    compiled once and the closures applied per visit.
     """
     if candidate == reference:
         return True
+    if compile_cache is not None:
+        left_fn = compile_cache.fn(candidate)
+        right_fn = compile_cache.fn(reference)
+        for trace in traces:
+            for step in trace.steps_at(loc_id):
+                if not values_equal(left_fn(step.pre), right_fn(step.pre)):
+                    return False
+        return True
     for trace in traces:
-        for step in trace.steps:
-            if step.loc_id != loc_id:
-                continue
+        for step in trace.steps_at(loc_id):
             left = evaluate(candidate, step.pre)
             right = evaluate(reference, step.pre)
             if not values_equal(left, right):
@@ -133,14 +153,24 @@ def _matches_reference(
     reference: Expr,
     pre_states: Sequence,
     reference_values: Sequence,
+    compile_cache: CompileCache | None = None,
 ) -> bool:
     """Def. 4.5 against precomputed reference values (the hoisted fast path).
 
     ``reference_values[i]`` is ``evaluate(reference, pre_states[i])``,
     computed once per (location, variable) by
-    :meth:`Cluster.reference_values` instead of once per candidate.
+    :meth:`Cluster.reference_values` instead of once per candidate.  With a
+    ``compile_cache``, the candidate compiles to a closure once (a memo hit
+    for every duplicate candidate across sites, attempts and clusters) and
+    the closure runs per pre-state.
     """
     if candidate == reference:
+        return True
+    if compile_cache is not None:
+        fn = compile_cache.fn(candidate)
+        for pre, expected in zip(pre_states, reference_values):
+            if not values_equal(fn(pre), expected):
+                return False
         return True
     for pre, expected in zip(pre_states, reference_values):
         if not values_equal(evaluate(candidate, pre), expected):
@@ -219,6 +249,7 @@ def generate_local_repairs(
     location_map: Mapping[int, int],
     *,
     ted_cache: TedCache | None = None,
+    compile_cache: CompileCache | None = None,
     cost_bound: float | None = None,
     profiler: PhaseProfiler | None = None,
 ) -> dict[Site, list[LocalRepairCandidate]]:
@@ -232,6 +263,9 @@ def generate_local_repairs(
             representative location.
         ted_cache: Memo table for tree-edit distances and annotations
             (defaults to the module-level cache of :mod:`repro.ted`).
+        compile_cache: Compiled-expression memo used to screen candidates
+            against the recorded pre-states; ``None`` evaluates
+            interpretively (the reference path).
         cost_bound: Branch-and-bound budget — the cost of the best repair
             already found.  Candidates whose cost reaches it are dropped;
             repairs cheaper than the bound are unaffected (see
@@ -265,6 +299,7 @@ def generate_local_repairs(
                         rep_vars,
                         impl_vars,
                         ted_cache=ted_cache,
+                        compile_cache=compile_cache,
                         cost_bound=cost_bound,
                         profiler=profiler,
                     )
@@ -297,6 +332,7 @@ def generate_local_repairs(
                 rep_vars,
                 impl_vars,
                 ted_cache=ted_cache,
+                compile_cache=compile_cache,
                 cost_bound=cost_bound,
                 profiler=profiler,
             )
@@ -317,6 +353,7 @@ def _candidates_for_target(
     impl_vars: Sequence[str],
     *,
     ted_cache: TedCache | None,
+    compile_cache: CompileCache | None,
     cost_bound: float | None,
     profiler: PhaseProfiler | None,
 ) -> list[LocalRepairCandidate]:
@@ -324,7 +361,7 @@ def _candidates_for_target(
     representative = cluster.representative
     rep_expr = representative.update_for(rep_loc, rep_var)
     pre_states = cluster.reference_pre_states(rep_loc)
-    ref_values = cluster.reference_values(rep_loc, rep_var)
+    ref_values = cluster.reference_values(rep_loc, rep_var, compile_cache=compile_cache)
     out: list[LocalRepairCandidate] = []
 
     # Step 1 (Fig. 5, lines 9-11): keep the implementation expression if it
@@ -333,7 +370,9 @@ def _candidates_for_target(
         impl_expr.variables() | {var}, rep_vars, forced=(var, rep_var)
     ):
         translated = _apply_relation(impl_expr, relation)
-        if _matches_reference(translated, rep_expr, pre_states, ref_values):
+        if _matches_reference(
+            translated, rep_expr, pre_states, ref_values, compile_cache
+        ):
             out.append(
                 LocalRepairCandidate(
                     loc_id=loc_id,

@@ -1,8 +1,11 @@
 """Per-phase profiling of the repair pipeline (``repro-clara batch --profile``).
 
 A :class:`PhaseProfiler` accumulates wall-clock time and call counts per
-pipeline phase — ``parse``, ``match``, ``candidate_gen``, ``ted`` and
-``ilp`` — across every attempt of a batch run.  It is attached to the
+pipeline phase — ``parse``, ``exec``, ``match``, ``candidate_gen``, ``ted``
+and ``ilp`` — across every attempt of a batch run.  The ``exec`` phase
+covers Def. 3.5 trace execution (the compiled fast path of
+:mod:`repro.interpreter`); its companion ``exec_steps`` counter records how
+many location steps those executions took.  It is attached to the
 pipeline's :class:`repro.engine.cache.RepairCaches` (``caches.profiler``)
 and threaded from there into the repair core, so instrumentation costs
 nothing when no profiler is attached (the common case): every hook goes
@@ -23,7 +26,7 @@ from typing import Iterator
 __all__ = ["PhaseProfiler", "profiled", "PHASES"]
 
 #: Canonical phase order for reports.
-PHASES = ("parse", "match", "candidate_gen", "ted", "ilp")
+PHASES = ("parse", "exec", "match", "candidate_gen", "ted", "ilp")
 
 
 class PhaseProfiler:
@@ -41,8 +44,13 @@ class PhaseProfiler:
             self._calls[phase] = self._calls.get(phase, 0) + calls
 
     def count(self, phase: str, calls: int = 1) -> None:
-        """Record invocations without timing (counter-only instrumentation)."""
-        self.add(phase, 0.0, calls)
+        """Record invocations without timing (counter-only instrumentation).
+
+        Counter-only phases (e.g. ``exec_steps``) never appear in
+        :meth:`timings`, so reports don't list spurious 0-second phases.
+        """
+        with self._lock:
+            self._calls[phase] = self._calls.get(phase, 0) + calls
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:

@@ -503,8 +503,8 @@ def repair_against_cluster(
             :meth:`repro.engine.cache.RepairCaches.structural_match`.  When
             omitted it is computed here.
         caches: Optional :class:`repro.engine.cache.RepairCaches`; provides
-            the TED memo table and the per-phase profiler to candidate
-            generation.
+            the TED memo table, the compiled-expression cache and the
+            per-phase profiler to candidate generation.
         cost_bound: Branch-and-bound budget, the cost of the best repair
             found so far.  Candidates costing at least this much are pruned
             during generation; any repair *cheaper* than the bound is
@@ -519,6 +519,7 @@ def repair_against_cluster(
     """
     start = time.perf_counter()
     ted_cache = caches.ted if caches is not None else None
+    compile_cache = caches.compiled if caches is not None else None
     profiler = caches.profiler if caches is not None else None
     if location_map is None:
         location_map = structural_match(implementation, cluster.representative)
@@ -531,6 +532,7 @@ def repair_against_cluster(
             cluster,
             location_map,
             ted_cache=ted_cache,
+            compile_cache=compile_cache,
             cost_bound=cost_bound,
             profiler=profiler,
         )

@@ -24,6 +24,13 @@ object bundling three memo tables that remove that redundancy:
   :meth:`RepairCaches.repair_outcome` for what is deliberately *not*
   cached.
 
+It additionally owns the two expression-level fast-path memos and threads
+them into the layers that use them: a :class:`repro.ted.TedCache`
+(annotations + edit distances, candidate costing) and a
+:class:`repro.interpreter.compile.CompileCache` (compiled expression
+closures, trace execution and candidate screening).  All cache-routed
+executions run under the profiler's ``exec`` phase.
+
 All tables are guarded by a single lock, making one :class:`RepairCaches`
 instance safe to share across the worker threads of
 :class:`repro.engine.batch.BatchRepairEngine`.  Constructing the caches with
@@ -44,6 +51,7 @@ from ..core.inputs import InputCase, program_traces, trace_passes_case
 from ..core.inputs import is_correct as _is_correct_uncached
 from ..core.matching import structural_match
 from ..core.profile import PhaseProfiler, profiled
+from ..interpreter.compile import CompileCache
 from ..model.program import Program
 from ..model.trace import Trace
 from ..ted import TedCache
@@ -171,6 +179,11 @@ class RepairCaches:
     #: Created in ``__post_init__`` so its ``enabled`` flag follows the
     #: caches' — an uncached baseline also measures uncached TED.
     ted: TedCache | None = None
+    #: Compiled-expression memo (closures per interned expression, see
+    #: :mod:`repro.interpreter.compile`) threaded into trace execution and
+    #: candidate screening.  Created in ``__post_init__``; its ``enabled``
+    #: flag follows the caches' so uncached baselines recompile per use.
+    compiled: CompileCache | None = None
     #: Optional per-phase profiler (``repro-clara batch --profile``); when
     #: attached, parse/match/candidate-gen/TED/ILP work is timed and counted.
     profiler: PhaseProfiler | None = None
@@ -192,6 +205,8 @@ class RepairCaches:
     def __post_init__(self) -> None:
         if self.ted is None:
             self.ted = TedCache(enabled=self.enabled)
+        if self.compiled is None:
+            self.compiled = CompileCache(enabled=self.enabled)
 
     # -- keys ------------------------------------------------------------------
 
@@ -230,7 +245,7 @@ class RepairCaches:
         if not self.enabled:
             with self._lock:
                 self.stats.trace_misses += 1
-            return program_traces(program, cases)
+            return self._execute(program, cases)
         key = (self.program_key(program), case_set_key(cases))
         with self._lock:
             cached = self._traces.get(key)
@@ -238,9 +253,22 @@ class RepairCaches:
                 self.stats.trace_hits += 1
                 return cached
             self.stats.trace_misses += 1
-        traces = program_traces(program, cases)
+        traces = self._execute(program, cases)
         with self._lock:
             self._traces.setdefault(key, traces)
+        return traces
+
+    def _execute(self, program: Program, cases: Sequence[InputCase]) -> list[Trace]:
+        """Run the compiled executor, attributed to the ``exec`` phase.
+
+        All engine-routed executions funnel through here, so ``batch
+        --profile`` sees execution time under ``exec`` and the number of
+        location steps taken under the ``exec_steps`` counter.
+        """
+        with profiled(self.profiler, "exec"):
+            traces = program_traces(program, cases, compile_cache=self.compiled)
+        if self.profiler is not None:
+            self.profiler.count("exec_steps", sum(len(trace) for trace in traces))
         return traces
 
     def is_correct(self, program: Program, cases: Sequence[InputCase]) -> bool:
@@ -255,7 +283,7 @@ class RepairCaches:
                 self.stats.trace_misses += 1
             # No trace cache to populate, so use the short-circuiting core
             # predicate — the pre-engine behaviour uncached baselines reproduce.
-            return _is_correct_uncached(program, cases)
+            return _is_correct_uncached(program, cases, compile_cache=self.compiled)
         key = (self.program_key(program), case_set_key(cases))
         with self._lock:
             if key in self._correct:
@@ -422,6 +450,7 @@ class RepairCaches:
             self._fingerprints.clear()
             self._repairs.clear()
         self.ted.clear()
+        self.compiled.clear()
 
     def entry_counts(self) -> dict[str, int]:
         """Number of stored entries per table (for reports and debugging)."""
@@ -434,4 +463,5 @@ class RepairCaches:
                 "repairs": len(self._repairs),
             }
         counts.update(self.ted.entry_counts())
+        counts.update(self.compiled.entry_counts())
         return counts

@@ -469,6 +469,7 @@ class RepairService:
                     "cache": runtime.caches.stats.as_dict(),
                     "cache_entries": runtime.caches.entry_counts(),
                     "ted": runtime.caches.ted.counters(),
+                    "compile": runtime.caches.compiled.counters(),
                 }
                 for runtime in self._problems.values()
             },

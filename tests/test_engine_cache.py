@@ -99,6 +99,7 @@ def test_disabled_caches_always_recompute(deriv_cases, paper_sources):
         "repairs": 0,
         "ted_annotations": 0,
         "ted_distances": 0,
+        "compiled_exprs": 0,
     }
 
 
