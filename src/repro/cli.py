@@ -319,6 +319,7 @@ def _write_batch_profile(args, spec, profiler, clara, report) -> Path:
         "phases": profiler.as_dict(),
         "ted": clara.caches.ted.counters(),
         "compile": clara.caches.compiled.counters(),
+        "solve": clara.caches.solve.counters(),
         "cache": report.cache_stats.as_dict(),
         "cache_entries": clara.caches.entry_counts(),
     }

@@ -338,6 +338,15 @@ def generate_local_repairs(
             )
             candidates[site] = _dedupe(site_candidates)
 
+    if profiler is not None:
+        # Counter-only: the size of the ILP the solver fast path receives
+        # (one indicator variable per surviving candidate, see
+        # :func:`repro.core.repair._build_ilp`).  Deterministic per corpus,
+        # so it may appear in committed reports.
+        profiler.count(
+            "candidates_generated",
+            sum(len(site_candidates) for site_candidates in candidates.values()),
+        )
     return candidates
 
 

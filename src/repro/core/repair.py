@@ -23,7 +23,7 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
-from ..ilp import IlpProblem, InfeasibleError, solve as ilp_solve
+from ..ilp import IlpProblem, InfeasibleError, solve_fast
 from ..model.expr import Expr, Var
 from ..model.program import Program
 from .clustering import Cluster
@@ -503,15 +503,18 @@ def repair_against_cluster(
             :meth:`repro.engine.cache.RepairCaches.structural_match`.  When
             omitted it is computed here.
         caches: Optional :class:`repro.engine.cache.RepairCaches`; provides
-            the TED memo table, the compiled-expression cache and the
-            per-phase profiler to candidate generation.
+            the TED memo table, the compiled-expression cache, the ILP
+            solve memo (:class:`repro.ilp.SolveCache`) and the per-phase
+            profiler to candidate generation and solving.
         cost_bound: Branch-and-bound budget, the cost of the best repair
             found so far.  Candidates costing at least this much are pruned
-            during generation; any repair *cheaper* than the bound is
-            returned exactly as on the unpruned path, while a cluster whose
-            cheapest repair reaches the bound may return a different
-            same-or-costlier repair or ``None`` — callers comparing with a
-            strict ``<`` (:func:`find_best_repair`) are unaffected.
+            during generation, and the bound warm-starts the ILP solve as
+            its initial incumbent (:func:`repro.ilp.solve_fast`); any
+            repair *cheaper* than the bound is returned exactly as on the
+            unpruned path, while a cluster whose cheapest repair reaches
+            the bound may return a different same-or-costlier repair or
+            ``None`` — callers comparing with a strict ``<``
+            (:func:`find_best_repair`) are unaffected.
 
     Returns:
         The cheapest consistent repair, or ``None`` when the control flow
@@ -546,11 +549,24 @@ def repair_against_cluster(
         indexed = _rebuild_index(candidates)
     elif solver == "ilp":
         problem, indexed = _build_ilp(implementation, cluster, candidates)
+        solve_cache = caches.solve if caches is not None else None
         try:
             with profiled(profiler, "ilp"):
-                solution = ilp_solve(problem, node_limit=ilp_node_limit)
+                solution = solve_fast(
+                    problem,
+                    node_limit=ilp_node_limit,
+                    cache=solve_cache,
+                    upper_bound=cost_bound,
+                )
         except InfeasibleError:
             return None
+        if solution is None:
+            # Nothing beats the caller's bound: under the cost_bound
+            # contract this cluster contributes no candidate repair.
+            return None
+        if profiler is not None:
+            profiler.count("ilp_solves")
+            profiler.count("ilp_nodes", solution.nodes_explored)
         values, objective = solution.values, solution.objective
     else:
         raise ValueError(f"unknown solver {solver!r}")
@@ -603,9 +619,15 @@ def find_best_repair(
     costs ≥ bound; since the selection below is *strict* (``<``), such a
     repair could never replace ``best`` — pruning it (or, transitively,
     returning ``None`` for a cluster whose repairs all reach the bound) is
-    unobservable.  ``cost_bound=False`` keeps the exhaustive path alive for
-    cross-checks and measurement (``benchmarks/test_repair_throughput.py``
-    asserts field-identical outcomes).
+    unobservable.  The same bound warm-starts each cluster's ILP solve as
+    the branch-and-bound's initial incumbent (see
+    :func:`repro.ilp.solve_fast`), pruning solver branches that cannot
+    produce a winning repair; a warm-started solve that does beat the bound
+    finds exactly the solution the cold solve would have (see
+    :func:`repro.ilp.solver.solve`).  ``cost_bound=False`` keeps the
+    exhaustive path alive for cross-checks and measurement
+    (``benchmarks/test_repair_throughput.py`` asserts field-identical
+    outcomes).
 
     Args:
         implementation: The parsed incorrect attempt.

@@ -24,12 +24,15 @@ object bundling three memo tables that remove that redundancy:
   :meth:`RepairCaches.repair_outcome` for what is deliberately *not*
   cached.
 
-It additionally owns the two expression-level fast-path memos and threads
-them into the layers that use them: a :class:`repro.ted.TedCache`
-(annotations + edit distances, candidate costing) and a
+It additionally owns the three fast-path memos and threads them into the
+layers that use them: a :class:`repro.ted.TedCache` (annotations + edit
+distances, candidate costing), a
 :class:`repro.interpreter.compile.CompileCache` (compiled expression
-closures, trace execution and candidate screening).  All cache-routed
-executions run under the profiler's ``exec`` phase.
+closures, trace execution and candidate screening) and a
+:class:`repro.ilp.SolveCache` (ILP solutions keyed by canonical problem
+fingerprint, threaded into :func:`repro.core.repair.repair_against_cluster`
+via :func:`repro.ilp.solve_fast`).  All cache-routed executions run under
+the profiler's ``exec`` phase; solves run under ``ilp``.
 
 All tables are guarded by a single lock, making one :class:`RepairCaches`
 instance safe to share across the worker threads of
@@ -51,6 +54,7 @@ from ..core.inputs import InputCase, program_traces, trace_passes_case
 from ..core.inputs import is_correct as _is_correct_uncached
 from ..core.matching import structural_match
 from ..core.profile import PhaseProfiler, profiled
+from ..ilp.fastpath import SolveCache
 from ..interpreter.compile import CompileCache
 from ..model.program import Program
 from ..model.trace import Trace
@@ -184,6 +188,12 @@ class RepairCaches:
     #: candidate screening.  Created in ``__post_init__``; its ``enabled``
     #: flag follows the caches' so uncached baselines recompile per use.
     compiled: CompileCache | None = None
+    #: ILP solve memo (optimal solutions and proven-infeasible verdicts per
+    #: canonical problem fingerprint, see :mod:`repro.ilp.fastpath`)
+    #: threaded into the repair selection solve.  Created in
+    #: ``__post_init__``; its ``enabled`` flag follows the caches' so
+    #: uncached baselines re-solve every instance.
+    solve: SolveCache | None = None
     #: Optional per-phase profiler (``repro-clara batch --profile``); when
     #: attached, parse/match/candidate-gen/TED/ILP work is timed and counted.
     profiler: PhaseProfiler | None = None
@@ -207,6 +217,8 @@ class RepairCaches:
             self.ted = TedCache(enabled=self.enabled)
         if self.compiled is None:
             self.compiled = CompileCache(enabled=self.enabled)
+        if self.solve is None:
+            self.solve = SolveCache(enabled=self.enabled)
 
     # -- keys ------------------------------------------------------------------
 
@@ -451,6 +463,7 @@ class RepairCaches:
             self._repairs.clear()
         self.ted.clear()
         self.compiled.clear()
+        self.solve.clear()
 
     def entry_counts(self) -> dict[str, int]:
         """Number of stored entries per table (for reports and debugging)."""
@@ -464,4 +477,5 @@ class RepairCaches:
             }
         counts.update(self.ted.entry_counts())
         counts.update(self.compiled.entry_counts())
+        counts.update(self.solve.entry_counts())
         return counts

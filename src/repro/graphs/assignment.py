@@ -1,0 +1,146 @@
+"""Minimum-cost perfect matching on bipartite graphs (assignment problem).
+
+The repair ILP (paper Def. 5.5) frequently degenerates to a pure assignment
+problem: when no local-repair candidate constrains the variable relation (no
+implications), the constraint system is exactly a family of disjoint
+"exactly one" choice groups and the optimum is a minimum-cost perfect
+matching between the two sides of the group-intersection graph.
+:mod:`repro.ilp.structure` performs that reduction; this module supplies the
+matching algorithm, a companion to the cardinality-only Hopcroft–Karp in
+:mod:`repro.graphs.bipartite`.
+
+The implementation is successive shortest augmenting paths on the residual
+flow network, with Bellman–Ford/SPFA path search so negative edge costs are
+supported (the residual graph of a min-cost flow always contains negative
+arcs, and ILP objectives may carry negative coefficients).  The graphs the
+repair pipeline produces are small — tens of vertices — so the simple
+O(V·E·V) bound is irrelevant in practice; what matters is that iteration
+order is fully deterministic (vertex order in, edge order sorted), keeping
+downstream results byte-stable across hash seeds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Mapping, Sequence
+
+__all__ = ["min_cost_perfect_matching"]
+
+_INF = float("inf")
+
+#: Slack below which a tentative distance does not count as an improvement;
+#: guards the SPFA loop against float round-off ping-pong on equal-cost
+#: alternative paths.
+_EPS = 1e-12
+
+
+class _Edge:
+    __slots__ = ("to", "cap", "cost", "rev")
+
+    def __init__(self, to: int, cap: int, cost: float, rev: int) -> None:
+        self.to = to
+        self.cap = cap
+        self.cost = cost
+        self.rev = rev  # index of the reverse edge in graph[to]
+
+
+def min_cost_perfect_matching(
+    left: Sequence[Hashable],
+    right: Sequence[Hashable],
+    edges: Mapping[tuple[Hashable, Hashable], float],
+) -> tuple[dict[Hashable, Hashable], float] | None:
+    """Return a minimum-cost perfect matching and its cost, or ``None``.
+
+    Args:
+        left: Vertices of the left partition.
+        right: Vertices of the right partition (same cardinality required
+            for a perfect matching to exist).
+        edges: Cost per admissible ``(left_vertex, right_vertex)`` pair.
+            Duplicate pairs keep the cheapest cost.  Costs may be negative;
+            the bipartite flow network contains no negative cycles.
+
+    Returns:
+        ``(matching, cost)`` where ``matching`` maps every left vertex to
+        its partner, or ``None`` when no perfect matching exists.
+    """
+    left = list(left)
+    right = list(right)
+    if len(left) != len(right):
+        return None
+    n = len(left)
+    if n == 0:
+        return {}, 0.0
+
+    left_index = {u: i for i, u in enumerate(left)}
+    right_index = {v: j for j, v in enumerate(right)}
+    if len(left_index) != n or len(right_index) != n:
+        raise ValueError("duplicate vertices in a partition")
+
+    cheapest: dict[tuple[int, int], float] = {}
+    for (u, v), cost in edges.items():
+        i = left_index.get(u)
+        j = right_index.get(v)
+        if i is None or j is None:
+            raise ValueError(f"edge ({u!r}, {v!r}) mentions an unknown vertex")
+        key = (i, j)
+        cost = float(cost)
+        if key not in cheapest or cost < cheapest[key]:
+            cheapest[key] = cost
+
+    # Flow network: 0 = source, 1..n = left, n+1..2n = right, 2n+1 = sink.
+    source, sink = 0, 2 * n + 1
+    graph: list[list[_Edge]] = [[] for _ in range(2 * n + 2)]
+
+    def add_edge(u: int, v: int, cost: float) -> None:
+        graph[u].append(_Edge(v, 1, cost, len(graph[v])))
+        graph[v].append(_Edge(u, 0, -cost, len(graph[u]) - 1))
+
+    for i in range(n):
+        add_edge(source, 1 + i, 0.0)
+        add_edge(1 + n + i, sink, 0.0)
+    for (i, j), cost in sorted(cheapest.items()):
+        add_edge(1 + i, 1 + n + j, cost)
+
+    for _ in range(n):
+        # Shortest augmenting path by SPFA over the residual graph.
+        size = len(graph)
+        dist = [_INF] * size
+        prev: list[tuple[int, int] | None] = [None] * size
+        in_queue = [False] * size
+        dist[source] = 0.0
+        queue: deque[int] = deque([source])
+        in_queue[source] = True
+        while queue:
+            u = queue.popleft()
+            in_queue[u] = False
+            base = dist[u]
+            for index, edge in enumerate(graph[u]):
+                if edge.cap <= 0:
+                    continue
+                candidate = base + edge.cost
+                if candidate < dist[edge.to] - _EPS:
+                    dist[edge.to] = candidate
+                    prev[edge.to] = (u, index)
+                    if not in_queue[edge.to]:
+                        queue.append(edge.to)
+                        in_queue[edge.to] = True
+        if prev[sink] is None:
+            return None  # no augmenting path: no perfect matching
+        node = sink
+        while node != source:
+            u, index = prev[node]
+            edge = graph[u][index]
+            edge.cap -= 1
+            graph[node][edge.rev].cap += 1
+            node = u
+
+    matching: dict[Hashable, Hashable] = {}
+    total = 0.0
+    for i in range(n):
+        for edge in graph[1 + i]:
+            if 1 + n <= edge.to <= 2 * n and edge.cap == 0:
+                j = edge.to - 1 - n
+                matching[left[i]] = right[j]
+                total += cheapest[(i, j)]
+                break
+    return matching, total

@@ -1,13 +1,26 @@
 """0-1 integer linear programming substrate."""
 
+from .fastpath import SolveCache, solve_fast
 from .problem import Constraint, IlpProblem, IlpSolution
 from .solver import IlpError, InfeasibleError, solve
+from .structure import (
+    AssignmentForm,
+    analyze_assignment_form,
+    problem_fingerprint,
+    solve_assignment,
+)
 
 __all__ = [
     "Constraint",
     "IlpProblem",
     "IlpSolution",
     "solve",
+    "solve_fast",
+    "SolveCache",
+    "AssignmentForm",
+    "analyze_assignment_form",
+    "problem_fingerprint",
+    "solve_assignment",
     "IlpError",
     "InfeasibleError",
 ]

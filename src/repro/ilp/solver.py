@@ -11,8 +11,9 @@ The solver below is a generic 0-1 branch-and-bound with:
 * constraint propagation to fixpoint (bound reasoning on every constraint,
   with the special cases of choice groups and implications falling out of the
   generic rule);
-* a lower bound that adds, for every undecided choice group, the cheapest
-  still-available member (each variable counted at most once);
+* a lower bound that adds, for every undecided choice group disjoint from
+  the groups already charged, the cheapest still-available member (plus the
+  cost of every unassigned negative-cost variable);
 * best-first variable selection (most constrained group first, cheapest value
   first), which reaches the optimum quickly for repair instances.
 
@@ -34,7 +35,30 @@ class IlpError(Exception):
 
 
 class InfeasibleError(IlpError):
-    """The problem has no feasible assignment."""
+    """No feasible assignment was found.
+
+    ``proven`` distinguishes a completed argument (root propagation reached
+    a contradiction, or the search space was exhausted with neither a node
+    limit nor an initial ``upper_bound`` in play) from a search that merely
+    *failed to find* an assignment because it was truncated by the node
+    limit or restricted to solutions beating an incumbent bound.  Only
+    proven infeasibility may be memoized by
+    :class:`repro.ilp.fastpath.SolveCache`.
+
+    ``nodes_explored`` carries the branch-and-bound node count at the time
+    of the raise, so profiling can attribute infeasible solves too.
+    """
+
+    def __init__(
+        self,
+        message: str = "no feasible assignment exists",
+        *,
+        proven: bool = True,
+        nodes_explored: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.proven = proven
+        self.nodes_explored = nodes_explored
 
 
 @dataclass
@@ -47,14 +71,38 @@ def solve(
     problem: IlpProblem,
     *,
     node_limit: int = 200_000,
+    upper_bound: float | None = None,
 ) -> IlpSolution:
-    """Solve a 0-1 ILP; raises :class:`InfeasibleError` if no solution exists."""
-    solver = _Solver(problem, node_limit=node_limit)
+    """Solve a 0-1 ILP; raises :class:`InfeasibleError` if no solution exists.
+
+    Args:
+        problem: The 0-1 program to solve.
+        node_limit: Branch-and-bound node budget.  When it is hit, the best
+            incumbent found so far is returned with ``optimal=False``; if no
+            incumbent exists yet, :class:`InfeasibleError` is raised with
+            ``proven=False``.
+        upper_bound: Optional incumbent objective value used to warm-start
+            the search (in the problem's own objective sense): only
+            solutions *strictly better* than the bound are considered, and
+            branches that cannot beat it are pruned immediately.  When no
+            solution beats the bound, :class:`InfeasibleError` is raised
+            with ``proven=False`` — the problem may still be feasible.
+            Because pruning only ever removes completions that are at least
+            as costly as the current incumbent, a warm-started solve that
+            does return a solution returns exactly the one the cold solve
+            would have found.
+    """
+    solver = _Solver(problem, node_limit=node_limit, upper_bound=upper_bound)
     return solver.run()
 
 
 class _Solver:
-    def __init__(self, problem: IlpProblem, node_limit: int) -> None:
+    def __init__(
+        self,
+        problem: IlpProblem,
+        node_limit: int,
+        upper_bound: float | None = None,
+    ) -> None:
         self.problem = problem
         self.node_limit = node_limit
         self.variables = list(problem.variables)
@@ -75,25 +123,57 @@ class _Solver:
             and constraint.rhs == 1.0
             and all(coeff == 1.0 for _, coeff in constraint.coeffs)
         ]
-        self.best_cost = float("inf")
+        # Variables whose (normalized) cost is negative: every one still
+        # unassigned may yet lower the objective, so the lower bound must
+        # charge them.  Repair instances have non-negative costs only, but
+        # maximisation problems negate into this case.
+        self.negative_vars = [
+            var for var in self.variables if self.objective.get(var, 0.0) < 0
+        ]
+        # ``best_cost`` lives in the normalized (minimisation) space; an
+        # externally supplied incumbent bound is translated into it.
+        self.bounded = upper_bound is not None
+        if upper_bound is None:
+            self.best_cost = float("inf")
+        elif problem.minimize:
+            self.best_cost = upper_bound
+        else:
+            self.best_cost = -upper_bound
         self.best_assignment: dict[str, int] | None = None
         self.nodes = 0
+        self.truncated = False
 
     # -- public ----------------------------------------------------------------
 
     def run(self) -> IlpSolution:
         assignment: dict[str, int] = {}
         if not self._propagate(assignment):
-            raise InfeasibleError("propagation found the root infeasible")
+            # A propagation contradiction is a complete argument: it uses
+            # neither the node limit nor the incumbent bound.
+            raise InfeasibleError(
+                "propagation found the root infeasible",
+                proven=True,
+                nodes_explored=self.nodes,
+            )
         self._search(assignment)
         if self.best_assignment is None:
-            raise InfeasibleError("no feasible assignment exists")
+            if self.truncated:
+                message = "node limit hit before any feasible assignment was found"
+            elif self.bounded:
+                message = "no feasible assignment beats the upper bound"
+            else:
+                message = "no feasible assignment exists"
+            raise InfeasibleError(
+                message,
+                proven=not self.truncated and not self.bounded,
+                nodes_explored=self.nodes,
+            )
         values = {var: self.best_assignment.get(var, 0) for var in self.variables}
         objective = self.problem.objective_value(values)
         return IlpSolution(
             values=values,
             objective=objective,
-            optimal=self.nodes < self.node_limit,
+            optimal=not self.truncated,
             nodes_explored=self.nodes,
         )
 
@@ -164,24 +244,26 @@ class _Solver:
 
     def _lower_bound(self, assignment: dict[str, int]) -> float:
         bound = self._current_cost(assignment)
+        for var in self.negative_vars:
+            if var not in assignment:
+                bound += self.objective[var]
         counted: set[str] = set()
         for group in self.choice_groups:
             members = [var for var, _ in group.coeffs]
             if any(assignment.get(var) == 1 for var in members):
                 continue
-            candidates = [
-                self.objective.get(var, 0.0)
-                for var in members
-                if assignment.get(var) != 0 and var not in counted
-            ]
-            if not candidates:
+            available = [var for var in members if assignment.get(var) != 0]
+            # Only charge groups whose available members are disjoint from
+            # every group already charged: a shared variable set to 1 could
+            # satisfy both groups at a single cost, so charging the
+            # remaining members of an overlapping group would overcharge
+            # (an inadmissible bound that prunes true optima).
+            if not available or any(var in counted for var in available):
                 continue
-            cheapest = min(candidates)
+            cheapest = min(self.objective.get(var, 0.0) for var in available)
             if cheapest > 0:
                 bound += cheapest
-                # Mark every member as counted so overlapping groups do not
-                # double-charge a shared variable.
-                counted.update(members)
+                counted.update(available)
         return bound
 
     # -- search -----------------------------------------------------------------
@@ -212,6 +294,7 @@ class _Solver:
     def _search(self, assignment: dict[str, int]) -> None:
         self.nodes += 1
         if self.nodes >= self.node_limit:
+            self.truncated = True
             return
         if self._lower_bound(assignment) >= self.best_cost:
             return

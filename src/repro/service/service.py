@@ -470,6 +470,7 @@ class RepairService:
                     "cache_entries": runtime.caches.entry_counts(),
                     "ted": runtime.caches.ted.counters(),
                     "compile": runtime.caches.compiled.counters(),
+                    "solve": runtime.caches.solve.counters(),
                 }
                 for runtime in self._problems.values()
             },

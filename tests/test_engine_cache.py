@@ -100,6 +100,7 @@ def test_disabled_caches_always_recompute(deriv_cases, paper_sources):
         "ted_annotations": 0,
         "ted_distances": 0,
         "compiled_exprs": 0,
+        "solves": 0,
     }
 
 
