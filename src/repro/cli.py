@@ -9,6 +9,8 @@ Examples::
     repro-clara cluster build --problem derivatives --correct 60 \
         --output clusters.json
     repro-clara cluster info clusters.json
+    repro-clara cluster export clusters.json --output clusters-v2.json
+    repro-clara cluster import clusters-v2.json --output clusters.json
     repro-clara batch --problem derivatives --attempts submissions/ \
         --clusters clusters.json --workers 4 --output report.jsonl
     repro-clara serve --clusters clusters.json --port 9172
@@ -26,8 +28,10 @@ from pathlib import Path
 
 from .clusterstore import (
     FORMAT_VERSION,
+    V2_FORMAT_VERSION,
     ClusterStoreError,
-    load_clusters,
+    export_clusters,
+    import_clusters,
     read_store_header,
 )
 from .core.pipeline import Clara
@@ -202,29 +206,56 @@ def _cmd_cluster_info(args: argparse.Namespace) -> int:
     print(f"clusters:       {header.cluster_count}")
     print(f"members:        {header.total_members}")
     if not header.is_current:
-        print(
-            "per-cluster statistics need a current-format store; rebuild with "
-            "'repro-clara cluster build' to serve from this one"
-        )
+        if header.format_version == V2_FORMAT_VERSION:
+            print(
+                "segment statistics need a current-format store; migrate this "
+                f"one in place with 'repro-clara cluster import {args.store} "
+                f"--output {args.store}'"
+            )
+        else:
+            print(
+                "segment statistics need a current-format store; rebuild with "
+                "'repro-clara cluster build' to serve from this one"
+            )
         return 0
+    # A current (v3) store reports entirely from the header's segment index —
+    # no segment file is opened, so 'info' stays O(header) even on stores
+    # whose clusters would take seconds to decode.
+    print(f"segments:       {len(header.segments)} ({header.segment_bytes()} bytes)")
+    for entry in header.segments:
+        fingerprint = (entry.fingerprint or "")[:12] or "-"
+        skeleton = (entry.skeleton or "")[:12] or "-"
+        print(
+            f"  {entry.segment}: clusters={entry.clusters} "
+            f"members={entry.members} bytes={entry.bytes} "
+            f"fingerprint={fingerprint} skeleton={skeleton}"
+        )
+    return 0
+
+
+def _cmd_cluster_export(args: argparse.Namespace) -> int:
     try:
-        stored = load_clusters(args.store, check_cases=False)
+        path = export_clusters(args.store, args.output)
     except ClusterStoreError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    for cluster in stored.clusters:
-        pools = len(cluster.expressions)
-        pool_exprs = sum(len(pool) for pool in cluster.expressions.values())
-        indexed = sum(
-            len(cluster.pool_index_for(loc_id, var))
-            for loc_id, var in cluster.expressions
-        )
-        fingerprint = (cluster.fingerprint_digest or "")[:12] or "-"
-        print(
-            f"  cluster {cluster.cluster_id}: size={cluster.size} "
-            f"pools={pools} expressions={pool_exprs} indexed={indexed} "
-            f"fingerprint={fingerprint}"
-        )
+    except OSError as exc:
+        print(f"cannot export cluster store {args.store}: {exc}", file=sys.stderr)
+        return 2
+    print(f"exported {args.store} -> {path} (format version {V2_FORMAT_VERSION})", file=sys.stderr)
+    return 0
+
+
+def _cmd_cluster_import(args: argparse.Namespace) -> int:
+    try:
+        path = import_clusters(args.source, args.output)
+    except ClusterStoreError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"cannot import cluster document {args.source}: {exc}", file=sys.stderr)
+        return 2
+    print(f"imported {args.source} -> {path} (format version {FORMAT_VERSION})", file=sys.stderr)
     return 0
 
 
@@ -322,6 +353,7 @@ def _write_batch_profile(args, spec, profiler, clara, report) -> Path:
         "solve": clara.caches.solve.counters(),
         "cache": report.cache_stats.as_dict(),
         "cache_entries": clara.caches.entry_counts(),
+        "store_paging": clara.store_paging(),
     }
     directory = Path("results") / "local"
     directory.mkdir(parents=True, exist_ok=True)
@@ -450,10 +482,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster_build.set_defaults(func=_cmd_cluster_build)
 
     p_cluster_info = cluster_sub.add_parser(
-        "info", help="print metadata and per-cluster statistics of a store"
+        "info", help="print header metadata and segment-index statistics of a store"
     )
     p_cluster_info.add_argument("store", help="cluster store file")
     p_cluster_info.set_defaults(func=_cmd_cluster_info)
+
+    p_cluster_export = cluster_sub.add_parser(
+        "export",
+        help="export a store to the single-file v2 interchange document",
+        description="Write the store's clusters as one self-contained format-2 "
+        "JSON document — the byte-stable interchange form for archiving and "
+        "diffing (a store migrated from v2 exports byte-identically to its "
+        "original file; see docs/STORAGE.md).",
+    )
+    p_cluster_export.add_argument("store", help="cluster store file (format 3)")
+    p_cluster_export.add_argument(
+        "--output", required=True, help="v2 interchange document path"
+    )
+    p_cluster_export.set_defaults(func=_cmd_cluster_export)
+
+    p_cluster_import = cluster_sub.add_parser(
+        "import",
+        help="import a v2 interchange document as an indexed (v3) store",
+        description="Convert a format-2 single-file store or an 'export' "
+        "document into the current indexed layout. Passing the same path as "
+        "source and --output migrates a v2 store in place.",
+    )
+    p_cluster_import.add_argument("source", help="v2 store or interchange document")
+    p_cluster_import.add_argument(
+        "--output", required=True, help="indexed (v3) store path"
+    )
+    p_cluster_import.set_defaults(func=_cmd_cluster_import)
 
     p_batch = sub.add_parser(
         "batch",

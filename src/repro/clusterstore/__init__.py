@@ -9,10 +9,19 @@ restarts:
   build across workers;
 * :mod:`repro.clusterstore.serialize` — JSON encoding of expressions,
   programs and clusters (expression pools with provenance included);
+* :mod:`repro.clusterstore.segments` — the indexed (format v3) layout's
+  lower half: per-fingerprint-bucket segment files and the lazy
+  :class:`~repro.clusterstore.segments.SegmentPager` that loads them on
+  first matching lookup;
 * :mod:`repro.clusterstore.store` — versioned on-disk cluster stores:
-  :func:`save_clusters` / :func:`load_clusters`, the incremental
-  :class:`ClusterStore` handle (``add_correct_source`` + revision counter),
-  and the ``repro-clara cluster build`` / ``cluster info`` CLI surface.
+  :func:`save_clusters` / :func:`load_clusters` / :func:`open_lazy`, the
+  incremental :class:`ClusterStore` handle (``add_correct_source`` +
+  revision counter, eager or header-only via ``open_indexed``), v2
+  interchange (:func:`export_clusters` / :func:`import_clusters`), and the
+  ``repro-clara cluster build`` / ``info`` / ``export`` / ``import`` CLI
+  surface.
+
+The on-disk format itself is specified in ``docs/STORAGE.md``.
 
 Import layering: ``fingerprint`` sits *below* the core (only model/matching
 helpers), because ``core.clustering`` consults it; ``store`` sits *above*
@@ -33,10 +42,15 @@ __all__ = [
     "ClusterStore",
     "ClusterStoreError",
     "FORMAT_VERSION",
+    "LazyStoredClustering",
     "StoreHeader",
     "StoredClustering",
+    "V2_FORMAT_VERSION",
     "case_signature",
+    "export_clusters",
+    "import_clusters",
     "load_clusters",
+    "open_lazy",
     "read_store_header",
     "save_clusters",
 ]
@@ -46,10 +60,15 @@ _STORE_EXPORTS = {
     "ClusterStore",
     "ClusterStoreError",
     "FORMAT_VERSION",
+    "LazyStoredClustering",
     "StoreHeader",
     "StoredClustering",
+    "V2_FORMAT_VERSION",
     "case_signature",
+    "export_clusters",
+    "import_clusters",
     "load_clusters",
+    "open_lazy",
     "read_store_header",
     "save_clusters",
 }

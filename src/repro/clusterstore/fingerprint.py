@@ -61,7 +61,10 @@ def canonical_value(value: object) -> object:
     ``canonical_value(a) == canonical_value(b)`` — the property that makes
     fingerprint pruning sound.  The converse deliberately does not hold
     (all numbers share one marker); false bucket collisions only cost a
-    full match attempt, never a wrong cluster.
+    full match attempt, never a wrong cluster.  Byte stability: the
+    canonical form is built from value structure only (no ids, no hashes),
+    so equal values canonicalize identically across processes.  Thread
+    safety: pure function.
     """
     if is_undef(value):
         return "undef"
@@ -87,7 +90,11 @@ class Fingerprint:
 
     Instances compare and hash by their canonical component tuple; the
     :attr:`digest` (sha-256 of a canonical repr) is what the cluster store
-    persists and ``cluster info`` displays.
+    persists, names v3 segment files with, and ``cluster info`` displays.
+    Byte stability: the digest depends only on the canonical key, so equal
+    fingerprints digest identically across processes and platforms.
+    Thread safety: effectively immutable — the lazily memoized digest is
+    computed from immutable state, so a race at worst recomputes it.
     """
 
     __slots__ = ("key", "_digest")
@@ -119,6 +126,9 @@ def program_fingerprint(program: Program, traces: Sequence[Trace]) -> Fingerprin
     per case, as produced by :func:`repro.core.inputs.program_traces` or the
     engine's trace cache); fingerprinting re-uses them rather than
     re-executing, so its cost is a linear pass over the trace data.
+    Deterministic: the same program and traces always yield the same
+    fingerprint (and digest).  Thread safety: pure function of its
+    arguments.
     """
     order, skeleton = program.cfg_skeleton()
     canon_index = {loc_id: index for index, loc_id in enumerate(order)}

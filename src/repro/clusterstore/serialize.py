@@ -16,7 +16,17 @@ Everything round-trips exactly:
   (:class:`~repro.core.clustering.PoolEntryIndex`: shape digest, size,
   variable set and Zhang–Shasha annotation), so a loaded store feeds the
   repair fast path without re-walking a single pool expression
-  (``format_version`` 2).
+  (``format_version`` 2, unchanged by the v3 segment layout — segments
+  embed these very payloads).
+
+Byte stability: every encoder in this module is a pure function producing
+plain JSON data whose rendering (under the store's sorted-keys dump) is
+fully determined by its input — ``encode_cluster(decode_cluster(d)) == d``
+for any store-produced payload, the property the v2↔v3 round-trip
+guarantees rest on.  Thread safety: encoders and decoders share no mutable
+module state; the only caveat is that ``encode_cluster`` touches its
+cluster's lazily built pool-index cache, which is idempotent (racing
+encoders duplicate work, never corrupt it).
 """
 
 from __future__ import annotations
@@ -60,6 +70,11 @@ def encode_value(value: object) -> object:
 
 
 def decode_value(data: object) -> object:
+    """Strict inverse of :func:`encode_value`.
+
+    Raises:
+        SerializationError: Malformed payload or unknown value kind.
+    """
     if not isinstance(data, dict) or "k" not in data:
         raise SerializationError(f"malformed value payload: {data!r}")
     kind = data["k"]
@@ -76,6 +91,12 @@ def decode_value(data: object) -> object:
 
 
 def encode_expr(expr: Expr) -> object:
+    """Encode one expression tree as tagged JSON data.
+
+    Deterministic: structurally equal expressions always encode to equal
+    payloads (argument order is preserved, nothing is hashed or interned
+    at encode time).
+    """
     if isinstance(expr, Var):
         return {"e": "var", "name": expr.name}
     if isinstance(expr, Const):
@@ -90,6 +111,11 @@ def encode_expr(expr: Expr) -> object:
 
 
 def decode_expr(data: object) -> Expr:
+    """Strict inverse of :func:`encode_expr` (fresh, un-interned nodes).
+
+    Raises:
+        SerializationError: Malformed payload or unknown expression kind.
+    """
     if not isinstance(data, dict) or "e" not in data:
         raise SerializationError(f"malformed expression payload: {data!r}")
     kind = data["e"]
@@ -106,6 +132,13 @@ def decode_expr(data: object) -> Expr:
 
 
 def encode_program(program: Program) -> dict:
+    """Encode one program — locations, updates, CFG edges, source.
+
+    Deterministic for a given program: locations are emitted in canonical
+    id order and successor edges sorted, so equal programs encode to equal
+    payloads.  Thread safety: read-only on the (immutable-after-parse)
+    program.
+    """
     return {
         "name": program.name,
         "params": list(program.params),
@@ -134,6 +167,13 @@ def encode_program(program: Program) -> dict:
 
 
 def decode_program(data: dict) -> Program:
+    """Strict inverse of :func:`encode_program`.
+
+    Raises:
+        SerializationError: Missing fields or non-sequential location ids
+            (a store produced by this codebase always has sequential ids,
+            so a mismatch means the payload was edited or corrupted).
+    """
     try:
         program = Program(
             data["name"],
@@ -165,7 +205,9 @@ def decode_program(data: dict) -> Program:
 
 
 def encode_pool_index(index: PoolEntryIndex) -> dict:
-    """Encode one pool entry's precomputed repair-fast-path index."""
+    """Encode one pool entry's precomputed repair-fast-path index.
+
+    Deterministic: a pure projection of the (frozen) index fields."""
     annotation = index.annotation
     return {
         "key": index.shape_key,
@@ -178,6 +220,11 @@ def encode_pool_index(index: PoolEntryIndex) -> dict:
 
 
 def decode_pool_index(data: object) -> PoolEntryIndex:
+    """Strict inverse of :func:`encode_pool_index`.
+
+    Raises:
+        SerializationError: Malformed payload.
+    """
     if not isinstance(data, dict):
         raise SerializationError(f"malformed pool index payload: {data!r}")
     try:
@@ -200,6 +247,14 @@ def decode_pool_index(data: object) -> PoolEntryIndex:
 
 
 def encode_cluster(cluster: Cluster) -> dict:
+    """Encode one cluster: representative, members, pools and pool indexes.
+
+    Deterministic for a given cluster (expression pools keep insertion
+    order; pool indexes are computed, not sampled), so repeated encodings
+    are byte-identical under the store's sorted-keys dump.  Thread safety:
+    builds the cluster's pool-index cache on first use — idempotent, so
+    concurrent encoders at worst duplicate that work.
+    """
     indexes = cluster.build_pool_indexes()
     return {
         "cluster_id": cluster.cluster_id,
@@ -226,7 +281,14 @@ def decode_cluster(data: dict) -> Cluster:
     loader re-executes the representative on its own case set, which both
     keeps the store format small and revalidates it against the cases at
     hand.  Pool indexes *are* stored and seed the repair fast path, so
-    ``batch --clusters`` never recomputes a pool expression's annotation."""
+    ``batch --clusters`` never recomputes a pool expression's annotation.
+    Exact inverse of :func:`encode_cluster`: re-encoding a decoded cluster
+    reproduces the original payload byte for byte.
+
+    Raises:
+        SerializationError: Malformed payload, or a pool index whose length
+            disagrees with its pool.
+    """
     try:
         cluster = Cluster(
             cluster_id=data["cluster_id"],

@@ -1,16 +1,32 @@
 """Versioned on-disk cluster stores ("build once, serve many").
 
-A cluster store is one JSON document holding a whole clustering — every
-cluster of :func:`repro.core.clustering.cluster_programs` with its
-representative, members, expression pools (provenance included) and
-fingerprint digest — plus a header identifying the format version, source
-language and the test-case set the clustering was built against.
+Since format version 3 a cluster store is **two** things on disk (see
+``docs/STORAGE.md`` for the full specification):
+
+* a small JSON **header** file at the store path, carrying the format
+  version, content revision, source language, the case signature the
+  clustering was built against, aggregate counts, and a fingerprint→segment
+  **index** (:class:`~repro.clusterstore.segments.SegmentIndexEntry` rows);
+* a sibling ``<store>.segments/`` directory with one JSON **segment** file
+  per fingerprint bucket, holding the full encodings of that bucket's
+  clusters (:mod:`repro.clusterstore.segments`).
+
+Opening a store reads only the header; segments page in lazily on the
+first lookup that needs them (:func:`open_lazy`), which is what makes a
+catalog-scale correct pool cheap to consult — repairing one attempt
+touches the header plus the segments whose CFG-skeleton digest matches
+the attempt, nothing else.  The old single-file version-2 layout lives on
+as the **interchange format**: :func:`export_clusters` renders a v3 store
+to the byte-stable v2 JSON document, and :func:`import_clusters` migrates
+a v2 document (in place if desired) to v3.
 
 Invalidation rules (checked on load, see :func:`load_clusters`):
 
 * ``format_version`` must equal :data:`FORMAT_VERSION` exactly — the format
-  carries semantic content (expression encoding, pool order), so neither
-  older nor newer stores are silently accepted;
+  carries semantic content (expression encoding, pool order, segment
+  layout), so neither older nor newer stores are silently accepted; v2
+  stores get a ``cluster import`` migration hint, anything else a rebuild
+  hint;
 * the ``case_signature`` — a digest of the canonical case-set key
   (:func:`repro.engine.cache.case_set_key`) — must match the cases the
   loader is about to repair against, because clusters are equivalence
@@ -24,12 +40,19 @@ doubles as an end-to-end revalidation of the decoded programs.
 
 Stores carry a monotonically increasing **revision** counter in the header
 (absent in stores written before revisions existed, read as 0).  The
-revision identifies a *content state* of one store file: every successful
+revision identifies a *content state* of one store: every successful
 :meth:`ClusterStore.add_correct_source` bumps it, and a serving process
 (:mod:`repro.service`) reports the revision its answers were computed
 against, so operators can tell whether a running daemon has picked up an
 updated store.  The revision is metadata, not format — ``format_version``
 stays unchanged.
+
+Atomicity is **per file**: every header and segment write goes through a
+sibling temporary file and :func:`os.replace`, and a full save writes the
+header *last*, so a reader that opened the previous header keeps a
+consistent generation — if an updater rewrote a segment under it, the
+header index's byte-length check turns the race into a deterministic
+"store changed on disk, reopen it" error instead of mixed-generation data.
 """
 
 from __future__ import annotations
@@ -37,14 +60,26 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..core.clustering import Cluster, _canonical_order, _identity_witness
 from ..core.inputs import InputCase, program_traces, trace_passes_case
 from ..core.matching import find_matching
+from ..model.program import Program
 from .fingerprint import program_fingerprint
+from .segments import (
+    FORMAT_VERSION,
+    SegmentIndexEntry,
+    SegmentPager,
+    encode_segment_document,
+    group_clusters,
+    index_entry_for,
+    segment_dir,
+    segment_name,
+    skeleton_digest,
+)
 from .serialize import SerializationError, decode_cluster, encode_cluster
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -52,22 +87,29 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "FORMAT_VERSION",
+    "V2_FORMAT_VERSION",
     "FORMAT_NAME",
     "ClusterStoreError",
     "StoreHeader",
     "StoredClustering",
+    "LazyStoredClustering",
     "ClusterStore",
     "AddOutcome",
     "case_signature",
     "read_store_header",
     "save_clusters",
     "load_clusters",
+    "open_lazy",
+    "encode_v2_document",
+    "export_clusters",
+    "import_clusters",
 ]
 
-#: Bump whenever the on-disk layout or its semantics change.
-#: Version history: 1 — initial layout; 2 — pool entries carry precomputed
-#: repair-fast-path indexes (shape digest, variables, TED annotation).
-FORMAT_VERSION = 2
+#: The single-file layout of format version 2, kept as the interchange
+#: format: ``cluster export`` writes it, ``cluster import`` reads it, and
+#: its byte-stable rendering is what the committed ``results/`` gates of
+#: earlier revisions were built on.
+V2_FORMAT_VERSION = 2
 FORMAT_NAME = "repro-clara-clusterstore"
 
 
@@ -80,7 +122,9 @@ def case_signature(cases: Sequence[InputCase]) -> str:
 
     Built on the same canonical key the engine caches use, so two case sets
     are interchangeable for a store exactly when they are interchangeable
-    for the trace cache.
+    for the trace cache.  Byte stability: the digest is a SHA-256 of the
+    canonical key's ``repr`` — deterministic across processes and
+    platforms.  Thread safety: pure function.
     """
     from ..engine.cache import case_set_key
 
@@ -89,12 +133,14 @@ def case_signature(cases: Sequence[InputCase]) -> str:
 
 @dataclass(frozen=True)
 class StoreHeader:
-    """Store metadata read without decoding (or validating) the clusters.
+    """Store metadata read without decoding (or paging in) any cluster.
 
     Produced by :func:`read_store_header`, which accepts *any* format
     version — this is the "what is this file?" view that ``cluster info``
-    shows for stale stores without tripping the strict rebuild-hint error
-    of :func:`load_clusters`.
+    shows for stale stores without tripping the strict migration-hint error
+    of :func:`load_clusters`.  For current (v3) stores the header also
+    carries the decoded segment index; for older versions ``segments`` is
+    empty.  Thread safety: frozen dataclass, safe to share.
     """
 
     path: Path
@@ -106,19 +152,25 @@ class StoreHeader:
     case_signature: str
     cluster_count: int
     total_members: int
+    segments: tuple[SegmentIndexEntry, ...] = field(default=())
 
     @property
     def is_current(self) -> bool:
         """Whether this build's :func:`load_clusters` would accept the store."""
         return self.format_version == FORMAT_VERSION
 
+    def segment_bytes(self) -> int:
+        """Total bytes across all indexed segment files (0 for old formats)."""
+        return sum(entry.bytes for entry in self.segments)
+
 
 class StoredClustering:
-    """A decoded store: clusters plus the header metadata.
+    """An eagerly decoded store: all clusters plus the header metadata.
 
     ``clusters`` have empty ``representative_traces``; callers that repair
     against them must re-execute representatives first
-    (:meth:`repro.core.pipeline.Clara.load_clusters` does).
+    (:meth:`repro.core.pipeline.Clara.load_clusters` does).  Thread
+    safety: a plain container — share only after publication.
     """
 
     def __init__(
@@ -148,6 +200,171 @@ class StoredClustering:
         return sum(cluster.size for cluster in self.clusters)
 
 
+class LazyStoredClustering:
+    """A header-only view of a v3 store whose clusters page in on demand.
+
+    The lazy counterpart of :class:`StoredClustering`, produced by
+    :func:`open_lazy`: construction reads nothing beyond the already-decoded
+    header, and each lookup pages in only the segments that could possibly
+    satisfy it (see :class:`~repro.clusterstore.segments.SegmentPager`).
+    Paged-in clusters have empty ``representative_traces`` unless the
+    consumer installs a ``pager.on_load`` hook that executes them
+    (:meth:`repro.core.pipeline.Clara.attach_lazy_clusters` does).
+
+    Thread safety: header attributes are immutable; lookups and counters
+    are lock-guarded by the pager, so concurrent repair workers can share
+    one instance.
+    """
+
+    def __init__(self, header: StoreHeader, pager: SegmentPager) -> None:
+        self.header = header
+        self.pager = pager
+
+    @property
+    def language(self) -> str:
+        return self.header.language
+
+    @property
+    def entry(self) -> str | None:
+        return self.header.entry
+
+    @property
+    def problem(self) -> str | None:
+        return self.header.problem
+
+    @property
+    def case_signature(self) -> str:
+        return self.header.case_signature
+
+    @property
+    def format_version(self) -> int:
+        return self.header.format_version
+
+    @property
+    def revision(self) -> int:
+        return self.header.revision
+
+    @property
+    def cluster_count(self) -> int:
+        """Total clusters per the header index — available without paging."""
+        return self.header.cluster_count
+
+    def total_members(self) -> int:
+        """Total member programs per the header index — no paging."""
+        return self.header.total_members
+
+    def clusters_for_program(self, program: Program) -> list[Cluster]:
+        """Every stored cluster that could structurally match ``program``.
+
+        Pages in only the segments whose CFG-skeleton digest equals the
+        program's (plus unfingerprinted segments, which carry no digest) —
+        skeleton equality is necessary for a Def. 4.1 structural match, so
+        the skipped segments provably contain no candidate and repair
+        outcomes are identical to an eager load.
+        """
+        return self.pager.clusters_for_skeleton(skeleton_digest(program))
+
+    def clusters_for_fingerprint(self, digest: str | None) -> list[Cluster]:
+        """Clusters in ``digest``'s fingerprint bucket (plus unfingerprinted
+        ones) — the exact candidate set an incremental add must try."""
+        return self.pager.clusters_for_fingerprint(digest)
+
+    def all_clusters(self) -> list[Cluster]:
+        """Page in everything; clusters in cluster-id order."""
+        return self.pager.all_clusters()
+
+    def paging_counters(self) -> dict:
+        """Deterministic loaded/skipped segment counters (see
+        :meth:`~repro.clusterstore.segments.SegmentPager.counters`)."""
+        return self.pager.counters()
+
+
+# -- writing ---------------------------------------------------------------------
+
+
+def _replace_file(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (tmp file + ``os.replace``)."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+def _write_header(
+    path: Path,
+    entries: Sequence[SegmentIndexEntry],
+    *,
+    signature: str,
+    language: str,
+    entry: str | None,
+    problem: str | None,
+    revision: int,
+) -> None:
+    """Atomically write a v3 header describing ``entries``.
+
+    Aggregate counts are derived from the index entries, so the header can
+    never disagree with its own index.  Byte stability: sorted keys,
+    2-space indent, trailing newline.
+    """
+    document = {
+        "format": FORMAT_NAME,
+        "format_version": FORMAT_VERSION,
+        "revision": revision,
+        "language": language,
+        "entry": entry,
+        "problem": problem,
+        "case_signature": signature,
+        "cluster_count": sum(item.clusters for item in entries),
+        "total_members": sum(item.members for item in entries),
+        "segments": [item.to_json() for item in entries],
+    }
+    _replace_file(path, json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+def _write_store(
+    path: Path,
+    clusters: Sequence[Cluster],
+    *,
+    signature: str,
+    language: str,
+    entry: str | None,
+    problem: str | None,
+    revision: int,
+) -> Path:
+    """Write a complete v3 store: all segments, then the header.
+
+    Segment files for buckets that no longer exist are pruned, so a full
+    save leaves exactly the files the new index names.  Each file is
+    replaced atomically and the header is written last — a concurrent
+    reader holds either the old generation (whose segments the byte-length
+    check validates) or the new one, never a mix it cannot detect.
+
+    Byte stability: grouping, per-segment ordering and both encodings are
+    deterministic, so identical clusterings produce byte-identical file
+    trees regardless of how (or in how many steps) they were built.
+    """
+    directory = segment_dir(path)
+    directory.mkdir(parents=True, exist_ok=True)
+    entries: list[SegmentIndexEntry] = []
+    for name, fingerprint, skeleton, bucket in group_clusters(clusters):
+        text = encode_segment_document(fingerprint, bucket)
+        _replace_file(directory / name, text)
+        entries.append(index_entry_for(name, fingerprint, skeleton, bucket, text))
+    keep = {item.segment for item in entries}
+    for stale in directory.glob("seg-*.json"):
+        if stale.name not in keep:
+            stale.unlink()
+    _write_header(
+        path,
+        entries,
+        signature=signature,
+        language=language,
+        entry=entry,
+        problem=problem,
+        revision=revision,
+    )
+    return path
+
+
 def save_clusters(
     path: str | Path,
     clusters: Sequence[Cluster],
@@ -158,28 +375,29 @@ def save_clusters(
     problem: str | None = None,
     revision: int = 0,
 ) -> Path:
-    """Serialize ``clusters`` (built against ``cases``) to ``path``.
+    """Serialize ``clusters`` (built against ``cases``) to a v3 store.
 
-    The document is written with sorted keys and a trailing newline so
-    identical clusterings produce byte-identical stores.  ``revision`` is
+    Writes the header at ``path`` and the segment files under
+    ``<path>.segments/``.  Byte stability: every file is written with
+    sorted keys and a trailing newline, so identical clusterings produce
+    byte-identical stores — header and segments alike.  ``revision`` is
     the store's content revision (see the module docstring); a fresh build
     writes 0, and :meth:`ClusterStore.save` passes the bumped counter.
+    Thread safety: one writer at a time; each file lands via an atomic
+    replace so concurrent readers never see a torn write.
     """
-    path = Path(path)
-    document = {
-        "format": FORMAT_NAME,
-        "format_version": FORMAT_VERSION,
-        "revision": revision,
-        "language": language,
-        "entry": entry,
-        "problem": problem,
-        "case_signature": case_signature(cases),
-        "cluster_count": len(clusters),
-        "total_members": sum(cluster.size for cluster in clusters),
-        "clusters": [encode_cluster(cluster) for cluster in clusters],
-    }
-    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
-    return path
+    return _write_store(
+        Path(path),
+        clusters,
+        signature=case_signature(cases),
+        language=language,
+        entry=entry,
+        problem=problem,
+        revision=revision,
+    )
+
+
+# -- reading ---------------------------------------------------------------------
 
 
 def _read_document(path: Path) -> dict:
@@ -199,21 +417,60 @@ def _read_document(path: Path) -> dict:
     return document
 
 
+def _decode_index(path: Path, document: dict) -> tuple[SegmentIndexEntry, ...]:
+    """Decode a v3 header's segment index, strictly."""
+    try:
+        return tuple(
+            SegmentIndexEntry.from_json(item)
+            for item in document.get("segments", [])
+        )
+    except SerializationError as exc:
+        raise ClusterStoreError(
+            f"cluster store {path} has a malformed segment index: {exc}"
+        ) from exc
+
+
+def _require_current(path: Path, version: object) -> None:
+    """Reject non-v3 stores with a version-appropriate migration hint."""
+    if version == FORMAT_VERSION:
+        return
+    if version == V2_FORMAT_VERSION:
+        raise ClusterStoreError(
+            f"cluster store {path} has format version {V2_FORMAT_VERSION} (the "
+            f"monolithic single-file layout), but this build reads version "
+            f"{FORMAT_VERSION}; migrate it in place with 'repro-clara cluster "
+            f"import {path} --output {path}', or rebuild the store with "
+            f"'repro-clara cluster build'"
+        )
+    raise ClusterStoreError(
+        f"cluster store {path} has format version {version!r}, but this build "
+        f"reads version {FORMAT_VERSION}; rebuild the store with "
+        f"'repro-clara cluster build'"
+    )
+
+
 def read_store_header(path: str | Path) -> StoreHeader:
-    """Read a store's header metadata without decoding the clusters.
+    """Read a store's header metadata without paging in any cluster.
 
     Unlike :func:`load_clusters` this accepts *any* format version — the
     point is to let operators identify a store (version, revision, problem)
     even when it is too old or too new to serve from.  Only the format
-    marker itself is validated.
+    marker itself is validated, except that a current-version store's
+    segment index must decode (a corrupt index on a v3 store is an error,
+    not something to gloss over).  Reads exactly one file.  Thread safety:
+    pure function returning a frozen header.
 
     Raises:
-        ClusterStoreError: Unreadable file, invalid JSON, or a file that is
-            not a cluster store at all.
+        ClusterStoreError: Unreadable file, invalid JSON, a file that is
+            not a cluster store at all, or a v3 header whose segment index
+            is malformed.
     """
     path = Path(path)
     document = _read_document(path)
     version = document.get("format_version")
+    segments: tuple[SegmentIndexEntry, ...] = ()
+    if version == FORMAT_VERSION:
+        segments = _decode_index(path, document)
     return StoreHeader(
         path=path,
         format_version=version if isinstance(version, int) else -1,
@@ -224,7 +481,23 @@ def read_store_header(path: str | Path) -> StoreHeader:
         case_signature=document.get("case_signature", ""),
         cluster_count=document.get("cluster_count", 0) or 0,
         total_members=document.get("total_members", 0) or 0,
+        segments=segments,
     )
+
+
+def _check_signature(
+    path: Path,
+    signature: str,
+    cases: Sequence[InputCase] | None,
+    check_cases: bool,
+) -> None:
+    if check_cases and cases is not None and signature != case_signature(cases):
+        raise ClusterStoreError(
+            f"cluster store {path} was built against a different test-case set; "
+            f"clusters are only valid for the inputs they were clustered on — "
+            f"rebuild the store for these cases (or pass check_cases=False to "
+            f"inspect it anyway)"
+        )
 
 
 def load_clusters(
@@ -233,42 +506,41 @@ def load_clusters(
     cases: Sequence[InputCase] | None = None,
     check_cases: bool = True,
 ) -> StoredClustering:
-    """Load and validate a cluster store.
+    """Load and validate a cluster store **eagerly** (every segment read).
+
+    The strict, read-everything entry point — use :func:`open_lazy` when
+    only a slice of the store will be consulted.  Byte-level integrity of
+    each segment is checked against the header index before decoding.
 
     Args:
-        path: Store file written by :func:`save_clusters`.
+        path: Store header written by :func:`save_clusters`.
         cases: When given (and ``check_cases`` is true), the store's case
             signature must match — repairing against a clustering built for
             different inputs silently changes what "equivalent" means, so a
             mismatch is an error, not a warning.
         check_cases: Set to ``False`` to skip the signature check (e.g. the
-            read-only ``cluster info`` command).
+            read-only ``cluster export`` command).
 
     Raises:
-        ClusterStoreError: Unreadable file, wrong format name, wrong
-            format version, case-set mismatch, or malformed payload.
+        ClusterStoreError: Unreadable file, wrong format name, wrong format
+            version (v2 stores get a ``cluster import`` migration hint),
+            case-set mismatch, or a malformed/stale segment.
     """
     path = Path(path)
     document = _read_document(path)
     version = document.get("format_version")
-    if version != FORMAT_VERSION:
-        raise ClusterStoreError(
-            f"cluster store {path} has format version {version!r}, but this build "
-            f"reads version {FORMAT_VERSION}; rebuild the store with "
-            f"'repro-clara cluster build'"
-        )
+    _require_current(path, version)
     signature = document.get("case_signature", "")
-    if check_cases and cases is not None and signature != case_signature(cases):
+    _check_signature(path, signature, cases, check_cases)
+    entries = _decode_index(path, document)
+    pager = SegmentPager(path, entries, error=ClusterStoreError)
+    clusters = pager.all_clusters()
+    declared = document.get("cluster_count")
+    if declared is not None and declared != len(clusters):
         raise ClusterStoreError(
-            f"cluster store {path} was built against a different test-case set; "
-            f"clusters are only valid for the inputs they were clustered on — "
-            f"rebuild the store for these cases (or pass check_cases=False to "
-            f"inspect it anyway)"
+            f"cluster store {path} is malformed: header declares {declared} "
+            f"clusters but the segments hold {len(clusters)}"
         )
-    try:
-        clusters = [decode_cluster(entry) for entry in document["clusters"]]
-    except (KeyError, TypeError, SerializationError) as exc:
-        raise ClusterStoreError(f"cluster store {path} is malformed: {exc}") from exc
     return StoredClustering(
         clusters,
         language=document.get("language", "python"),
@@ -276,6 +548,143 @@ def load_clusters(
         problem=document.get("problem"),
         case_signature=signature,
         format_version=version,
+        revision=document.get("revision", 0) or 0,
+    )
+
+
+def open_lazy(
+    path: str | Path,
+    *,
+    cases: Sequence[InputCase] | None = None,
+    check_cases: bool = True,
+) -> LazyStoredClustering:
+    """Open a v3 store **header-only**; clusters page in on first lookup.
+
+    Performs the same version and case-signature validation as
+    :func:`load_clusters` but reads exactly one file — the header.  The
+    returned view's lookups load only the segments whose index entry could
+    satisfy them; a segment rewritten on disk after this open is detected
+    by the index's byte-length check and reported as a deterministic error
+    rather than served.  Thread safety: the returned view is safe to share
+    across repair workers.
+
+    Raises:
+        ClusterStoreError: Same conditions as :func:`load_clusters`, minus
+            segment errors, which surface lazily at first touch.
+    """
+    path = Path(path)
+    header = read_store_header(path)
+    _require_current(path, header.format_version)
+    _check_signature(path, header.case_signature, cases, check_cases)
+    pager = SegmentPager(path, header.segments, error=ClusterStoreError)
+    return LazyStoredClustering(header, pager)
+
+
+# -- v2 interchange (export / import) --------------------------------------------
+
+
+def encode_v2_document(
+    clusters: Sequence[Cluster],
+    *,
+    signature: str,
+    language: str,
+    entry: str | None,
+    problem: str | None,
+    revision: int,
+) -> str:
+    """Render clusters as the single-file v2 JSON interchange document.
+
+    This is, byte for byte, the writer of the retired format version 2 —
+    sorted keys, 2-space indent, trailing newline — so exporting a store
+    that was migrated *from* v2 reproduces its original payload exactly
+    (asserted in ``tests/test_store_segments.py``).  Thread safety: pure
+    function.
+    """
+    document = {
+        "format": FORMAT_NAME,
+        "format_version": V2_FORMAT_VERSION,
+        "revision": revision,
+        "language": language,
+        "entry": entry,
+        "problem": problem,
+        "case_signature": signature,
+        "cluster_count": len(clusters),
+        "total_members": sum(cluster.size for cluster in clusters),
+        "clusters": [encode_cluster(cluster) for cluster in clusters],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def export_clusters(store_path: str | Path, output_path: str | Path) -> Path:
+    """Export a v3 store to a single v2 JSON interchange document.
+
+    The export is lossless and byte-stable: importing the document with
+    :func:`import_clusters` and exporting again yields identical bytes, and
+    metadata (revision, case signature, language, entry, problem) is copied
+    verbatim.  No case set is needed — the stored signature is trusted.
+    Thread safety: read-only on the store; the output lands atomically.
+
+    Raises:
+        ClusterStoreError: The store is unreadable, stale or malformed.
+    """
+    stored = load_clusters(store_path, check_cases=False)
+    text = encode_v2_document(
+        stored.clusters,
+        signature=stored.case_signature,
+        language=stored.language,
+        entry=stored.entry,
+        problem=stored.problem,
+        revision=stored.revision,
+    )
+    output = Path(output_path)
+    _replace_file(output, text)
+    return output
+
+
+def import_clusters(source_path: str | Path, output_path: str | Path) -> Path:
+    """Migrate a v2 JSON document (store or export) to an indexed v3 store.
+
+    Metadata — revision, case signature, language, entry, problem — is
+    preserved verbatim, so the migrated store serves exactly what the v2
+    file did.  ``output_path`` may equal ``source_path`` for an in-place
+    migration: segments are written first and the header replaces the v2
+    file last, atomically.  Byte stability: importing the same document
+    always produces the same file tree, identical to a fresh
+    :func:`save_clusters` of the same clusters.
+
+    Raises:
+        ClusterStoreError: Not a v2 document (v1 stores lack the
+            precomputed pool indexes — rebuild those), or malformed payload.
+    """
+    source_path = Path(source_path)
+    document = _read_document(source_path)
+    version = document.get("format_version")
+    if version == FORMAT_VERSION:
+        raise ClusterStoreError(
+            f"{source_path} is already a format-{FORMAT_VERSION} store; "
+            f"'cluster import' reads the version-{V2_FORMAT_VERSION} JSON "
+            f"documents written by 'repro-clara cluster export'"
+        )
+    if version != V2_FORMAT_VERSION:
+        raise ClusterStoreError(
+            f"{source_path} has format version {version!r}; 'cluster import' "
+            f"reads version-{V2_FORMAT_VERSION} JSON documents only — older "
+            f"stores lack the precomputed pool indexes, rebuild the store "
+            f"with 'repro-clara cluster build'"
+        )
+    try:
+        clusters = [decode_cluster(item) for item in document["clusters"]]
+    except (KeyError, TypeError, SerializationError) as exc:
+        raise ClusterStoreError(
+            f"cluster store {source_path} is malformed: {exc}"
+        ) from exc
+    return _write_store(
+        Path(output_path),
+        clusters,
+        signature=document.get("case_signature", ""),
+        language=document.get("language", "python"),
+        entry=document.get("entry"),
+        problem=document.get("problem"),
         revision=document.get("revision", 0) or 0,
     )
 
@@ -309,7 +718,7 @@ class AddOutcome:
 
 
 class ClusterStore:
-    """A mutable handle on one on-disk cluster store (load → update → save).
+    """A mutable handle on one on-disk cluster store (open → update → save).
 
     Where :func:`save_clusters`/:func:`load_clusters` treat a store as an
     immutable snapshot rebuilt from scratch, a ``ClusterStore`` supports the
@@ -319,26 +728,40 @@ class ClusterStore:
     store atomically so a running :class:`repro.service.RepairService` can
     hot-reload it between requests.
 
+    Two opening modes share this class:
+
+    * :meth:`open` loads every segment eagerly (the original behaviour);
+    * :meth:`open_indexed` reads only the header — each
+      :meth:`add_correct_source` then pages in just the new submission's
+      fingerprint bucket (plus the unfingerprinted segment), and
+      :meth:`save` rewrites only the segments that changed.  For a store
+      with many buckets this makes ingestion cost proportional to the
+      touched bucket, not the store.
+
     **Equivalence guarantee.**  ``add_correct_source(src)`` produces a store
-    field-identical to rebuilding from scratch with ``src`` appended to the
-    original correct pool (asserted in ``tests/test_store_updates.py``): the
-    new program is fingerprinted, tried against existing clusters in
-    creation order within its fingerprint bucket (first match wins, exactly
-    the order the exhaustive loop would use) and otherwise minted as a new
-    cluster with the next id — which is precisely where the deterministic
-    merge of :func:`repro.core.clustering.cluster_programs` would place it.
+    byte-identical (modulo revision) to rebuilding from scratch with ``src``
+    appended to the original correct pool (asserted in
+    ``tests/test_store_updates.py``), in both modes: the new program is
+    fingerprinted, tried against existing clusters in creation order within
+    its fingerprint bucket (first match wins, exactly the order the
+    exhaustive loop would use) and otherwise minted as a new cluster with
+    the next id — which is precisely where the deterministic merge of
+    :func:`repro.core.clustering.cluster_programs` would place it.
 
     Thread safety: instances are **not** thread-safe — they are intended
     for a single updater process (a course ingests new correct submissions
-    serially).  Readers are isolated by :meth:`save`'s atomic replace: a
-    concurrent :func:`load_clusters` sees either the old or the new file,
-    never a torn write.
+    serially).  Readers are isolated by :meth:`save`'s per-file atomic
+    replaces (header written last): a concurrent reader sees either the
+    old or the new generation of each file, and the header index's
+    byte-length check turns a cross-generation read into a deterministic
+    error instead of silent corruption.
 
     Args:
-        path: The store file this handle reads and writes.
+        path: The store header this handle reads and writes.
         cases: The test-case set the clustering is relative to (Def. 4.4);
             must match the store's ``case_signature``.
-        clusters: The decoded clusters, representative traces populated.
+        clusters: The decoded clusters, representative traces populated
+            (in indexed mode: the clusters materialized so far).
         language: Source language of the member programs.
         entry: Entry function name used when parsing new sources.
         problem: Optional problem name recorded in the header.
@@ -367,6 +790,13 @@ class ClusterStore:
         self.problem = problem
         self._revision = revision
         self.caches = caches
+        # Indexed (lazy) mode state — set up by open_indexed().
+        self._pager: SegmentPager | None = None
+        self._signature: str | None = None
+        self._lazy_cluster_count = 0
+        self._lazy_total_members = 0
+        self._max_cluster_id = -1
+        self._dirty: set[str] = set()
 
     @classmethod
     def open(
@@ -377,11 +807,12 @@ class ClusterStore:
         caches: "RepairCaches | None" = None,
         check_cases: bool = True,
     ) -> "ClusterStore":
-        """Load ``path`` into a mutable handle.
+        """Load ``path`` **eagerly** into a mutable handle.
 
         Validates format version and (by default) the case signature, then
         re-executes each representative on ``cases`` to rebuild the traces
-        that incremental matching needs.
+        that incremental matching needs.  Every segment is read up front;
+        use :meth:`open_indexed` to defer that work.
 
         Raises:
             ClusterStoreError: see :func:`load_clusters`.
@@ -402,6 +833,62 @@ class ClusterStore:
             caches=caches,
         )
 
+    @classmethod
+    def open_indexed(
+        cls,
+        path: str | Path,
+        cases: Sequence[InputCase],
+        *,
+        caches: "RepairCaches | None" = None,
+        check_cases: bool = True,
+    ) -> "ClusterStore":
+        """Open ``path`` **header-only**; segments page in as adds need them.
+
+        The lazy counterpart of :meth:`open`: nothing beyond the header is
+        read until :meth:`add_correct_source` consults a fingerprint
+        bucket, and :meth:`save` rewrites only dirty segments (plus the
+        header).  Outcomes, revisions and saved bytes are identical to the
+        eager mode — only the I/O schedule differs.  Representative traces
+        of paged-in clusters are rebuilt at page-in time.
+
+        Raises:
+            ClusterStoreError: see :func:`open_lazy`.
+        """
+        source = open_lazy(path, cases=cases, check_cases=check_cases)
+        store = cls(
+            path,
+            cases,
+            [],
+            language=source.language,
+            entry=source.entry,
+            problem=source.problem,
+            revision=source.revision,
+            caches=caches,
+        )
+        store._pager = source.pager
+        store._signature = source.case_signature
+        store._lazy_cluster_count = source.cluster_count
+        store._lazy_total_members = source.total_members()
+        store._max_cluster_id = max(
+            (item.max_cluster_id for item in source.pager.entries), default=-1
+        )
+        source.pager.on_load = store._on_page_in
+        return store
+
+    def _on_page_in(self, clusters: list[Cluster]) -> None:
+        """Pager hook: make freshly paged clusters repair-ready."""
+        for cluster in clusters:
+            cluster.representative_traces = list(
+                self._traces(self.caches, cluster.representative, self.cases)
+            )
+        self.clusters.extend(clusters)
+
+    # ``docs/API.md`` names: exporting/importing is independent of any open
+    # handle, so these are module functions surfaced on the class for
+    # discoverability ("import" itself is a reserved word).
+    export = staticmethod(export_clusters)
+    import_v2 = staticmethod(import_clusters)
+
     @staticmethod
     def _traces(caches: "RepairCaches | None", program, cases):
         if caches is not None:
@@ -414,11 +901,28 @@ class ClusterStore:
         return self._revision
 
     @property
+    def indexed(self) -> bool:
+        """Whether this handle was opened header-only (:meth:`open_indexed`)."""
+        return self._pager is not None
+
+    @property
     def cluster_count(self) -> int:
+        """Total clusters — from the header index in indexed mode (no paging)."""
+        if self._pager is not None:
+            return self._lazy_cluster_count
         return len(self.clusters)
 
     def total_members(self) -> int:
+        """Total members — from the header index in indexed mode (no paging)."""
+        if self._pager is not None:
+            return self._lazy_total_members
         return sum(cluster.size for cluster in self.clusters)
+
+    def paging_counters(self) -> dict | None:
+        """Loaded/skipped segment counters (``None`` when opened eagerly)."""
+        if self._pager is None:
+            return None
+        return self._pager.counters()
 
     def add_correct_source(self, source: str) -> AddOutcome:
         """Place one new correct submission without re-clustering the pool.
@@ -428,10 +932,13 @@ class ClusterStore:
         dumps routinely contain mislabelled data) and leave the store
         unchanged.  An accepted program joins the first existing cluster it
         matches — only clusters in its own fingerprint bucket are tried,
-        the same pruning the batch build uses — or becomes the
-        representative of a new cluster, and the revision is bumped.
+        the same pruning the batch build uses; in indexed mode only that
+        bucket's segment (plus the unfingerprinted one) is even read from
+        disk — or becomes the representative of a new cluster, and the
+        revision is bumped.
 
-        Changes live in memory until :meth:`save` is called.
+        Changes live in memory until :meth:`save` is called.  Thread
+        safety: single-updater only, like every mutation on this class.
 
         Returns:
             An :class:`AddOutcome` naming the cluster joined/created (or
@@ -463,8 +970,14 @@ class ClusterStore:
             fingerprint = self.caches.fingerprint(program, self.cases, traces=traces)
         else:
             fingerprint = program_fingerprint(program, traces)
+        if self._pager is not None:
+            # Indexed mode: page in exactly the candidate set — the new
+            # program's bucket plus clusters stored without a digest.
+            candidates = self._pager.clusters_for_fingerprint(fingerprint.digest)
+        else:
+            candidates = self.clusters
         order = _canonical_order(program)
-        for cluster in self.clusters:
+        for cluster in candidates:
             in_bucket = cluster.fingerprint_digest == fingerprint.digest
             if cluster.fingerprint_digest is not None and not in_bucket:
                 # A differing fingerprint proves the full match cannot
@@ -487,15 +1000,29 @@ class ClusterStore:
             if witness is not None:
                 cluster.add_member(program, witness)
                 self._revision += 1
+                if self._pager is not None:
+                    self._dirty.add(segment_name(cluster.fingerprint_digest))
+                    self._lazy_total_members += 1
                 return AddOutcome("joined", cluster.cluster_id, "", self._revision)
 
+        if self._pager is not None:
+            # The header index records the largest id per segment, so the
+            # next id is known without paging anything else in.
+            next_id = self._max_cluster_id + 1
+        else:
+            next_id = max((c.cluster_id for c in self.clusters), default=-1) + 1
         cluster = Cluster(
-            cluster_id=max((c.cluster_id for c in self.clusters), default=-1) + 1,
+            cluster_id=next_id,
             representative=program,
             representative_traces=traces,
             fingerprint_digest=fingerprint.digest,
         )
         cluster.add_member(program, _identity_witness(program))
+        if self._pager is not None:
+            self._dirty.add(self._pager.adopt_cluster(cluster))
+            self._max_cluster_id = cluster.cluster_id
+            self._lazy_cluster_count += 1
+            self._lazy_total_members += 1
         self.clusters.append(cluster)
         self._revision += 1
         return AddOutcome("created", cluster.cluster_id, "", self._revision)
@@ -505,21 +1032,47 @@ class ClusterStore:
         return [self.add_correct_source(source) for source in sources]
 
     def save(self) -> Path:
-        """Atomically persist the current clusters and revision.
+        """Persist the current clusters and revision, atomically per file.
 
-        The document is written to a sibling temporary file first and moved
-        into place with :func:`os.replace`, so concurrent readers (a serving
-        daemon hot-reloading the problem) never observe a torn store.
+        Eager handles rewrite the whole store; indexed handles rewrite only
+        the segments dirtied since the last save, then the header — the
+        resulting file tree is byte-identical either way (and identical to
+        a from-scratch build of the same clusters, modulo revision).
+        Concurrent readers (a serving daemon hot-reloading the problem)
+        never observe a torn file, and a reader caught between generations
+        fails deterministically via the index byte-length check.
         """
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        save_clusters(
-            tmp,
-            self.clusters,
-            self.cases,
+        if self._pager is None:
+            return _write_store(
+                self.path,
+                self.clusters,
+                signature=case_signature(self.cases),
+                language=self.language,
+                entry=self.entry,
+                problem=self.problem,
+                revision=self._revision,
+            )
+        directory = segment_dir(self.path)
+        directory.mkdir(parents=True, exist_ok=True)
+        for name in sorted(self._dirty):
+            entry = self._pager.entry(name)
+            bucket = sorted(
+                self._pager.loaded_clusters(name) or [],
+                key=lambda cluster: cluster.cluster_id,
+            )
+            text = encode_segment_document(entry.fingerprint, bucket)
+            _replace_file(directory / name, text)
+            self._pager.replace_entry(
+                index_entry_for(name, entry.fingerprint, entry.skeleton, bucket, text)
+            )
+        _write_header(
+            self.path,
+            self._pager.entries,
+            signature=self._signature or "",
             language=self.language,
             entry=self.entry,
             problem=self.problem,
             revision=self._revision,
         )
-        os.replace(tmp, self.path)
+        self._dirty.clear()
         return self.path

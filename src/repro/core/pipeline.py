@@ -138,6 +138,10 @@ class Clara:
     _memo_token: object = field(
         default_factory=object, init=False, repr=False, compare=False
     )
+    #: Lazily paged cluster source installed by :meth:`attach_lazy_clusters`
+    #: (``None`` = eager ``clusters`` list).  When set, repair consults only
+    #: the store segments whose CFG-skeleton digest matches the attempt.
+    _lazy_clusters: object = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.caches is None:
@@ -217,6 +221,12 @@ class Clara:
 
     def _register_clusters(self, clusters: Sequence[Cluster]) -> None:
         """Append clusters, renumbering ids and invalidating repair memos."""
+        if self._lazy_clusters is not None:
+            raise ValueError(
+                "this pipeline serves clusters from a lazily paged store "
+                "(attach_lazy_clusters); update the store and reopen instead "
+                "of registering clusters in memory"
+            )
         offset = len(self.clusters)
         for cluster in clusters:
             cluster.cluster_id += offset
@@ -291,6 +301,68 @@ StoredClustering`.
         self._register_clusters(stored.clusters)
         return len(stored.clusters)
 
+    def attach_lazy_clusters(self, source) -> int:
+        """Serve clusters from a lazily paged store view instead of a list.
+
+        ``source`` is a :class:`~repro.clusterstore.store.LazyStoredClustering`
+        (from :func:`repro.clusterstore.store.open_lazy`): only the store
+        header has been read, and repair pages in just the segments whose
+        CFG-skeleton digest matches the attempt at hand — skeleton equality
+        is necessary for a structural match (Def. 4.1), so outcomes are
+        identical to an eager :meth:`load_clusters`, minus the I/O for
+        segments no attempt ever matches.  Representatives are executed on
+        this pipeline's cases at page-in time, through the shared caches,
+        under the pager's lock (so concurrent repair workers each see fully
+        initialized clusters).
+
+        Mutually exclusive with the eager cluster list: attaching to a
+        pipeline that already has clusters — or registering clusters after
+        attaching — raises.  Returns the store's total cluster count (from
+        the header; nothing is paged in by this call).
+
+        Raises:
+            ClusterStoreError: The store's language does not match.
+            ValueError: The pipeline already has clusters registered.
+        """
+        from ..clusterstore.store import ClusterStoreError
+
+        if self.clusters or self._lazy_clusters is not None:
+            raise ValueError(
+                "attach_lazy_clusters requires a pipeline with no clusters "
+                "registered yet"
+            )
+        if source.language != self.language:
+            raise ClusterStoreError(
+                f"cluster store {source.pager.store_path} holds "
+                f"{source.language!r} programs, but this pipeline repairs "
+                f"{self.language!r} attempts"
+            )
+
+        def _on_load(clusters: "list[Cluster]") -> None:
+            for cluster in clusters:
+                cluster.representative_traces = list(
+                    self.caches.traces(cluster.representative, self.cases)
+                )
+                if not self.use_cluster_expressions:
+                    self._restrict_to_representative(cluster)
+
+        source.pager.on_load = _on_load
+        self._lazy_clusters = source
+        self._cluster_version += 1
+        return source.cluster_count
+
+    def store_paging(self) -> dict | None:
+        """Loaded/skipped segment counters of the attached lazy store.
+
+        ``None`` when clusters are held eagerly in memory.  Deterministic
+        for a given sequence of repairs (see
+        :meth:`repro.clusterstore.segments.SegmentPager.counters`), which is
+        what ``batch --profile`` and the service ``stats`` op surface.
+        """
+        if self._lazy_clusters is None:
+            return None
+        return self._lazy_clusters.paging_counters()
+
     @staticmethod
     def _restrict_to_representative(cluster: Cluster) -> None:
         representative = cluster.representative
@@ -328,15 +400,20 @@ StoredClustering`.
                 status=RepairStatus.ALREADY_CORRECT,
                 elapsed=time.perf_counter() - start,
             )
-        if not self.clusters:
+        if not self.cluster_count:
             return RepairOutcome(
                 status=RepairStatus.NO_REPAIR,
                 detail="no clusters available",
                 elapsed=time.perf_counter() - start,
             )
+        # In lazy mode this pages in only the segments whose skeleton digest
+        # matches the attempt; every skipped cluster is provably unmatchable,
+        # so the gate below and the search see the same effective candidate
+        # set an eager load would.
+        candidates = self._candidate_clusters(program)
         if not any(
             self.caches.structural_match(program, cluster.representative) is not None
-            for cluster in self.clusters
+            for cluster in candidates
         ):
             return RepairOutcome(
                 status=RepairStatus.NO_STRUCTURAL_MATCH,
@@ -357,7 +434,7 @@ StoredClustering`.
         status, repair, feedback, detail = self.caches.repair_outcome(
             program,
             context_key,
-            lambda: self._search_clusters(program, timeout),
+            lambda: self._search_clusters(program, candidates, timeout),
             # A timeout reflects machine load at that moment, not a property
             # of the attempt; memoizing it would make one slow moment sticky
             # for every future duplicate.
@@ -379,14 +456,29 @@ StoredClustering`.
             for loc_id in program.location_ids()
         )
 
+    def _candidate_clusters(self, program: Program) -> "Sequence[Cluster]":
+        """The clusters that could possibly repair ``program``.
+
+        Eager mode returns the full list; lazy mode pages in only the
+        skeleton-matching (and unfingerprinted) segments of the attached
+        store — a sound pruning, since a differing canonical CFG skeleton
+        precludes the structural match every repair needs.
+        """
+        if self._lazy_clusters is None:
+            return self.clusters
+        return self._lazy_clusters.clusters_for_program(program)
+
     def _search_clusters(
-        self, program: Program, timeout: float | None
+        self,
+        program: Program,
+        clusters: "Sequence[Cluster]",
+        timeout: float | None,
     ) -> tuple[str, Repair | None, Feedback | None, str]:
         """Run the cluster search and package the memoizable outcome."""
         started = time.perf_counter()
         repair = find_best_repair(
             program,
-            self.clusters,
+            clusters,
             solver=self.solver,
             timeout=timeout,
             caches=self.caches,
@@ -459,7 +551,20 @@ StoredClustering`.
 
     @property
     def cluster_count(self) -> int:
+        """Total clusters — from the store header in lazy mode (no paging)."""
+        if self._lazy_clusters is not None:
+            return self._lazy_clusters.cluster_count
         return len(self.clusters)
 
     def cluster_sizes(self) -> list[int]:
+        """Member counts per cluster, largest first.
+
+        In lazy mode this pages in **every** segment of the attached store —
+        it is an introspection helper, not a serving-path call.
+        """
+        if self._lazy_clusters is not None:
+            return sorted(
+                (cluster.size for cluster in self._lazy_clusters.all_clusters()),
+                reverse=True,
+            )
         return sorted((cluster.size for cluster in self.clusters), reverse=True)

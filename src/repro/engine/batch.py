@@ -212,16 +212,30 @@ class BatchRepairEngine:
         *,
         workers: int = DEFAULT_WORKERS,
         budget: float | None = None,
+        lazy: bool = True,
     ) -> "BatchRepairEngine":
         """Build an engine from a persisted cluster store.
 
-        Loads ``clusters_path`` into ``clara`` (validating format version and
-        case signature, see :meth:`repro.core.pipeline.Clara.load_clusters`)
-        and wraps it.  This is the "index once, query many" entry point:
-        every batch worker process of a deployment loads the same store
-        instead of re-clustering the correct pool on start-up.
+        Attaches ``clusters_path`` to ``clara`` (validating format version,
+        case signature and language) and wraps it.  This is the "index once,
+        query many" entry point: every batch worker process of a deployment
+        opens the same store instead of re-clustering the correct pool on
+        start-up.
+
+        By default the store is opened **header-only** and segments page in
+        on demand as attempts are repaired
+        (:meth:`repro.core.pipeline.Clara.attach_lazy_clusters`); outcomes
+        are identical to an eager load — skeleton-mismatched segments
+        provably contain no repair candidate — and the paging counters show
+        up in ``batch --profile`` output.  Pass ``lazy=False`` to read every
+        segment up front (:meth:`repro.core.pipeline.Clara.load_clusters`).
         """
-        clara.load_clusters(clusters_path)
+        if lazy:
+            from ..clusterstore.store import open_lazy
+
+            clara.attach_lazy_clusters(open_lazy(clusters_path, cases=clara.cases))
+        else:
+            clara.load_clusters(clusters_path)
         return cls(clara, workers=workers, budget=budget)
 
     # -- public API --------------------------------------------------------------

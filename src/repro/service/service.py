@@ -22,14 +22,28 @@ deadline that fires cannot interrupt the worker thread mid-repair — the
 thread finishes and its slot frees then — so ``queue_size`` should exceed
 ``workers`` by the burst you want to absorb, not by orders of magnitude.
 
-Hot reload.  :meth:`RepairService.reload` re-reads a problem's cluster
-store from disk and atomically swaps in a fresh pipeline *sharing the old
+Hot reload.  :meth:`RepairService.reload` re-reads a problem's store
+header from disk and atomically swaps in a fresh pipeline *sharing the old
 RepairCaches* — trace, TED and match memos stay warm (they are keyed on
 program structure, not on the clustering), while repair memos
 self-invalidate via the new pipeline's identity token.  Requests admitted
 before the swap keep the engine object they snapshotted, so in-flight work
 is never dropped and every response reports the store revision it was
 actually computed against.
+
+Segment paging.  Stores are the indexed v3 format (``docs/STORAGE.md``):
+``add_problem`` and ``reload`` read only the header, and each repair pages
+in just the segments whose CFG-skeleton digest matches the attempt — cold
+start and reload cost are proportional to the header, not the store.  The
+per-problem loaded/skipped counters appear under ``store_paging`` in the
+``stats`` op.  If an updater rewrites a segment *after* the serving header
+was read, a repair that pages it in gets a deterministic "store changed on
+disk" error (the header index records each segment's byte length); the
+service then transparently re-runs the repair on the current generation —
+so a request admitted just before a ``reload`` completes on the reloaded
+engine instead of failing — and only when no newer generation exists does
+the client see a structured ``stale-store`` error telling the operator to
+``reload``.  Already-paged segments are cached and never re-read.
 """
 
 from __future__ import annotations
@@ -41,7 +55,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
 
-from ..clusterstore.store import ClusterStoreError, case_signature, load_clusters
+from ..clusterstore.store import ClusterStoreError, case_signature, open_lazy
 from ..core.inputs import InputCase
 from ..core.pipeline import Clara
 from ..engine.batch import BatchAttempt, BatchRecord, BatchRepairEngine
@@ -117,19 +131,21 @@ class ProblemRuntime:
         """
         with self._reload_lock:
             old = self._state
-            # One read: the revision reported by responses is taken from the
-            # same decoded document as the clusters themselves, so a save
-            # racing this reload can never produce a mismatched pair.
-            stored = load_clusters(self.store_path, cases=self.cases)
+            # One header read: the revision reported by responses is taken
+            # from the same header whose segment index the new pipeline
+            # pages through, so a save racing this reload can never produce
+            # a mismatched pair — a segment rewritten after this read fails
+            # the index byte-length check instead of being served.
+            source = open_lazy(self.store_path, cases=self.cases)
             clara = Clara(
                 cases=self.cases,
                 language=self.language,
                 entry=self.entry,
                 caches=self.caches,
             )
-            clara.register_stored_clustering(stored, origin=str(self.store_path))
+            clara.attach_lazy_clusters(source)
             self._state = _ProblemState(
-                revision=stored.revision,
+                revision=source.revision,
                 engine=BatchRepairEngine(clara, workers=1),
             )
             # The replaced pipeline's repair memos are unreachable from now
@@ -225,7 +241,9 @@ class RepairService:
         :class:`repro.datasets.ProblemSpec` of that name, so the usual call
         is just ``service.add_problem("derivatives.json")``.  Explicit
         ``cases``/``language``/``entry`` override the registry (for
-        problems that are not part of the paper's nine).
+        problems that are not part of the paper's nine).  Only the store
+        header is read here — segments page in lazily as repairs need them,
+        so adding a large problem is O(header), not O(store).
 
         Raises:
             ClusterStoreError: Missing/unreadable store, stale format
@@ -235,11 +253,12 @@ class RepairService:
             ValueError: The store has no problem name and none was passed.
         """
         store_path = Path(store_path)
-        # One read serves both the problem-name lookup and the clusters, so
-        # the reported revision always matches the loaded clustering.  The
-        # case signature is checked manually below because the cases are
-        # only known once the store has named its problem.
-        stored = load_clusters(store_path)
+        # One header read serves both the problem-name lookup and the
+        # segment index the pipeline will page through, so the reported
+        # revision always matches the served clustering.  The case
+        # signature is checked manually below because the cases are only
+        # known once the store has named its problem.
+        stored = open_lazy(store_path)
         name = problem or stored.problem
         if name is None:
             raise ValueError(
@@ -266,7 +285,7 @@ class RepairService:
                 f"'repro-clara cluster build'"
             )
         clara = Clara(cases=cases, language=language, entry=entry)
-        clara.register_stored_clustering(stored)
+        clara.attach_lazy_clusters(stored)
         runtime = ProblemRuntime(
             name=name,
             store_path=store_path,
@@ -385,7 +404,7 @@ class RepairService:
         # is what makes queue_size a real bound on backlogged work.
         try:
             worker_future = self._executor.submit(
-                self._repair_sync, state.engine, request, deadline
+                self._repair_sync, runtime, state, request, deadline
             )
         except BaseException:
             # submit can fail (e.g. the pool was shut down under a racing
@@ -409,19 +428,53 @@ class RepairService:
                 status="timeout",
                 detail=f"deadline of {deadline}s exceeded",
             )
+        except ClusterStoreError as exc:
+            # Both generations saw a segment rewritten after their header
+            # was read: the store changed on disk and nobody reloaded.
+            self.stats.bump("errors")
+            return error_payload(
+                "stale-store",
+                f"{exc} (send a 'reload' for problem {runtime.name!r})",
+                request.request_id,
+            )
         self.stats.bump("repairs")
-        return self._record_response(request, runtime.name, state.revision, record)
+        revision, record = record
+        return self._record_response(request, runtime.name, revision, record)
 
     def _repair_sync(
-        self, engine: BatchRepairEngine, request: Request, deadline: float | None
-    ) -> BatchRecord:
+        self,
+        runtime: ProblemRuntime,
+        state: _ProblemState,
+        request: Request,
+        deadline: float | None,
+    ) -> tuple[int, BatchRecord]:
         """Worker-thread body: one batch of size 1 on the snapshotted engine.
+
+        Returns the record together with the revision that actually answered.
+        Normally that is the admission snapshot's; if paging a segment fails
+        because the store was rewritten on disk under this lazily-opened
+        generation, the repair re-runs once on the runtime's *current*
+        generation (a reload racing this request installed one with a fresh
+        header).  Only when no newer generation exists does the
+        ClusterStoreError propagate, surfacing as a ``stale-store`` error.
 
         The request deadline doubles as the engine's per-attempt budget, so
         the cluster search self-limits (yielding the paper's ``timeout``
         status) even when the asyncio-side timer has already abandoned this
         thread's result.
         """
+        try:
+            return state.revision, self._run_once(state.engine, request, deadline)
+        except ClusterStoreError:
+            fresh = runtime.snapshot()
+            if fresh is state:
+                raise
+            return fresh.revision, self._run_once(fresh.engine, request, deadline)
+
+    @staticmethod
+    def _run_once(
+        engine: BatchRepairEngine, request: Request, deadline: float | None
+    ) -> BatchRecord:
         attempt_id = (
             str(request.request_id) if request.request_id is not None else "request"
         )
@@ -458,7 +511,13 @@ class RepairService:
     # -- introspection and lifecycle ---------------------------------------------
 
     def stats_snapshot(self) -> dict:
-        """Service counters plus per-problem revision and cache statistics."""
+        """Service counters plus per-problem revision, paging and cache stats.
+
+        ``store_paging`` reports the current engine's segment counters
+        (segments/clusters loaded vs. skipped since the last reload) —
+        deterministic for a given request history, and the operator's view
+        of how much of each store serving has actually touched.
+        """
         return {
             "service": self.stats.as_dict(),
             "queue_size": self.queue_size,
@@ -466,6 +525,7 @@ class RepairService:
                 runtime.name: {
                     "revision": runtime.revision,
                     "clusters": runtime.snapshot().engine.clara.cluster_count,
+                    "store_paging": runtime.snapshot().engine.clara.store_paging(),
                     "cache": runtime.caches.stats.as_dict(),
                     "cache_entries": runtime.caches.entry_counts(),
                     "ted": runtime.caches.ted.counters(),

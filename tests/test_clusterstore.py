@@ -12,9 +12,11 @@ from repro import Clara
 from repro.cli import main as cli_main
 from repro.clusterstore import (
     ClusterStoreError,
+    export_clusters,
     load_clusters,
     program_fingerprint,
 )
+from repro.clusterstore.segments import segment_dir
 from repro.clusterstore.serialize import (
     decode_expr,
     decode_program,
@@ -166,6 +168,12 @@ def test_store_is_byte_stable(deriv_setup, tmp_path):
     first = clara.save_clusters(tmp_path / "a.json", problem=problem.name)
     second = clara.save_clusters(tmp_path / "b.json", problem=problem.name)
     assert first.read_bytes() == second.read_bytes()
+    # The segment files must be byte-stable too, name for name.
+    first_segments = sorted(segment_dir(first).iterdir())
+    second_segments = sorted(segment_dir(second).iterdir())
+    assert [p.name for p in first_segments] == [p.name for p in second_segments]
+    for one, other in zip(first_segments, second_segments):
+        assert one.read_bytes() == other.read_bytes()
 
 
 def test_load_rejects_bumped_format_version(deriv_setup, tmp_path):
@@ -266,8 +274,9 @@ def test_cli_cluster_build_info_batch_round_trip(tmp_path, capsys):
 
     assert cli_main(["cluster", "info", str(store)]) == 0
     info = capsys.readouterr().out
-    assert "format version: 2" in info
+    assert "format version: 3" in info
     assert "derivatives" in info
+    assert "segments:" in info
 
     attempts = tmp_path / "attempts"
     attempts.mkdir()
@@ -360,10 +369,19 @@ def test_store_round_trips_pool_indexes(deriv_setup, tmp_path):
 def test_store_rejects_mismatched_pool_index_length(deriv_setup, tmp_path):
     problem, _corpus, clara = deriv_setup
     path = clara.save_clusters(tmp_path / "clusters.json")
-    document = json.loads(path.read_text())
+    seg_path = sorted(segment_dir(path).glob("seg-*.json"))[0]
+    document = json.loads(seg_path.read_text())
     entry = document["clusters"][0]["expressions"][0]
     entry[3] = entry[3][:-1] + [entry[3][-1], entry[3][-1]]  # one index too many
-    path.write_text(json.dumps(document))
+    text = json.dumps(document)
+    seg_path.write_text(text)
+    # Keep the header's byte-length freshness check satisfied so the loader
+    # reaches the decode (the corruption under test), not the staleness error.
+    header = json.loads(path.read_text())
+    for item in header["segments"]:
+        if item["segment"] == seg_path.name:
+            item["bytes"] = len(text.encode("utf-8"))
+    path.write_text(json.dumps(header))
     with pytest.raises(ClusterStoreError, match="pool index length"):
         load_clusters(path, cases=problem.cases)
 
@@ -373,13 +391,16 @@ def test_load_rejects_version_1_stores(deriv_setup, tmp_path):
     a clear rebuild instruction rather than silently recomputed."""
     problem, _corpus, clara = deriv_setup
     path = clara.save_clusters(tmp_path / "clusters.json")
-    document = json.loads(path.read_text())
+    # Derive a v1 document from the v2 interchange export: same single-file
+    # shape, minus the pool indexes version 2 added.
+    v1 = tmp_path / "v1.json"
+    export_clusters(path, v1)
+    document = json.loads(v1.read_text())
     document["format_version"] = 1
-    # Strip the pool indexes to mimic the old layout.
     for cluster in document["clusters"]:
         cluster["expressions"] = [entry[:3] for entry in cluster["expressions"]]
-    path.write_text(json.dumps(document))
+    v1.write_text(json.dumps(document))
     with pytest.raises(ClusterStoreError, match="format version 1"):
-        load_clusters(path, cases=problem.cases)
+        load_clusters(v1, cases=problem.cases)
     with pytest.raises(ClusterStoreError, match="rebuild the store"):
-        Clara(cases=problem.cases).load_clusters(path)
+        Clara(cases=problem.cases).load_clusters(v1)

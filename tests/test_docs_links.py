@@ -1,0 +1,51 @@
+"""The documentation link checker: the repo's own docs must pass, and the
+checker itself must actually catch dead links (no vacuous green)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CHECKER = REPO_ROOT / "tools" / "check_links.py"
+
+sys.path.insert(0, str(CHECKER.parent))
+
+from check_links import check_file, iter_links  # noqa: E402
+
+
+def test_repository_docs_have_no_dead_links():
+    result = subprocess.run(
+        [sys.executable, str(CHECKER)], capture_output=True, text=True
+    )
+    assert result.returncode == 0, result.stderr
+
+
+def test_checker_flags_a_dead_relative_link(tmp_path):
+    page = tmp_path / "page.md"
+    page.write_text("see [the spec](missing/STORAGE.md) for details\n")
+    assert check_file(page) == ["missing/STORAGE.md"]
+
+
+def test_checker_resolves_links_relative_to_the_referencing_file(tmp_path):
+    (tmp_path / "other.md").write_text("hello\n")
+    page = tmp_path / "page.md"
+    page.write_text("[other](other.md) and [anchored](other.md#section)\n")
+    assert check_file(page) == []
+
+
+def test_checker_skips_external_anchors_and_code_fences(tmp_path):
+    page = tmp_path / "page.md"
+    page.write_text(
+        "[web](https://example.com) [mail](mailto:a@b.c) [here](#top)\n"
+        "```\n"
+        "a shell [snippet](not-a-file) inside a fence\n"
+        "```\n"
+    )
+    assert list(iter_links(page.read_text())) == [
+        "https://example.com",
+        "mailto:a@b.c",
+        "#top",
+    ]
+    assert check_file(page) == []

@@ -21,6 +21,7 @@ import pytest
 from repro import Clara
 from repro.cli import main as cli_main
 from repro.clusterstore import ClusterStore
+from repro.clusterstore.segments import segment_dir
 from repro.datasets import generate_corpus, get_problem
 from repro.service import RepairServer, RepairService, ServiceClient
 
@@ -64,6 +65,13 @@ def running_server(service):
         thread.join(10)
         service.close()
         assert not thread.is_alive()
+
+
+def _copy_store(src, dst):
+    """Copy a v3 store: the header file plus its sibling segment directory."""
+    shutil.copy(src, dst)
+    shutil.copytree(segment_dir(src), segment_dir(dst))
+    return dst
 
 
 def _repair_line(source, request_id="r"):
@@ -191,7 +199,7 @@ def test_hot_reload_mid_request_keeps_serving_the_old_revision(
     tmp_path, spec, corpus, store_path
 ):
     own_store = tmp_path / "derivatives.json"
-    shutil.copy(store_path, own_store)
+    _copy_store(store_path, own_store)
     service = RepairService(workers=2)
     runtime = service.add_problem(own_store)
     assert runtime.revision == 0
@@ -234,10 +242,13 @@ def test_hot_reload_mid_request_keeps_serving_the_old_revision(
 
             gate.set()
             thread.join(10)
-            # The in-flight request was answered by the engine it was
-            # admitted with — the old revision — not dropped or switched.
+            # The in-flight request is never dropped.  It was admitted on
+            # the old lazily-opened generation, whose segments were
+            # rewritten on disk before it paged them in; the paging check
+            # detected that and the service re-ran it on the reloaded
+            # generation, so it reports the revision that answered.
             assert in_flight_response["status"] == "repaired"
-            assert in_flight_response["revision"] == 0
+            assert in_flight_response["revision"] == 1
 
             # New requests see the new revision.
             with ServiceClient("127.0.0.1", server.port) as client:
@@ -253,7 +264,7 @@ def test_reload_evicts_the_replaced_pipelines_repair_memos(
     """Each reload retires a pipeline generation; its repair memos must be
     evicted from the shared caches, not stranded forever."""
     own_store = tmp_path / "derivatives.json"
-    shutil.copy(store_path, own_store)
+    _copy_store(store_path, own_store)
     service = RepairService(workers=1)
     runtime = service.add_problem(own_store)
 
@@ -310,6 +321,10 @@ def test_stats_report_revisions_and_cache_counters(store_path, corpus):
     assert problem_stats["revision"] == 0
     assert problem_stats["clusters"] > 0
     assert "dp_runs" in problem_stats["ted"]
+    # Stores are opened header-only; one repair pages segments in on demand.
+    paging = problem_stats["store_paging"]
+    assert paging["segments_total"] > 0
+    assert 1 <= paging["segments_loaded"] <= paging["segments_total"]
     service.close()
 
 

@@ -19,6 +19,7 @@ from repro.clusterstore import (
     ClusterStore,
     read_store_header,
 )
+from repro.clusterstore.segments import segment_dir
 from repro.datasets import generate_corpus, get_problem
 
 #: A correct strategy deliberately absent from the tiny hand-picked pools
@@ -78,6 +79,15 @@ def _load_fresh(spec, path):
     return clara
 
 
+def _store_state(path):
+    """Full on-disk state of a v3 store: header fields + segment bytes."""
+    header = json.loads(path.read_text())
+    segments = {
+        entry.name: entry.read_bytes() for entry in sorted(segment_dir(path).iterdir())
+    }
+    return header, segments
+
+
 def test_incremental_add_identical_to_full_rebuild(tmp_path, spec, corpus):
     """Join case: the updated store is byte-identical to a rebuild (modulo
     revision) and repairs every incorrect attempt field-identically."""
@@ -93,11 +103,12 @@ def test_incremental_add_identical_to_full_rebuild(tmp_path, spec, corpus):
 
     _build_store(full_path, spec, list(base) + [extra])
 
-    inc_doc = json.loads(inc_path.read_text())
-    full_doc = json.loads(full_path.read_text())
+    inc_doc, inc_segments = _store_state(inc_path)
+    full_doc, full_segments = _store_state(full_path)
     assert inc_doc.pop("revision") == 1
     assert full_doc.pop("revision") == 0
     assert inc_doc == full_doc
+    assert inc_segments == full_segments
 
     incremental = _load_fresh(spec, inc_path)
     rebuilt = _load_fresh(spec, full_path)
@@ -120,17 +131,18 @@ def test_incremental_add_mints_new_cluster(tmp_path, spec, paper_sources):
     store.save()
 
     _build_store(full_path, spec, base + [BRANCHY])
-    inc_doc = json.loads(inc_path.read_text())
-    full_doc = json.loads(full_path.read_text())
+    inc_doc, inc_segments = _store_state(inc_path)
+    full_doc, full_segments = _store_state(full_path)
     inc_doc.pop("revision"), full_doc.pop("revision")
     assert inc_doc == full_doc
+    assert inc_segments == full_segments
 
 
 def test_rejections_leave_store_and_revision_untouched(tmp_path, spec, corpus):
     inc_path = tmp_path / "store.json"
     _build_store(inc_path, spec, corpus.correct_sources[:4])
     store = ClusterStore.open(inc_path, spec.cases)
-    before = inc_path.read_bytes()
+    before = _store_state(inc_path)
 
     unparseable = store.add_correct_source("def (\n")
     assert unparseable.status == "rejected-parse"
@@ -138,8 +150,8 @@ def test_rejections_leave_store_and_revision_untouched(tmp_path, spec, corpus):
     assert incorrect.status in ("rejected-incorrect", "rejected-execution")
     assert store.revision == 0
     store.save()
-    # A save after only rejected adds rewrites the identical document.
-    assert inc_path.read_bytes() == before
+    # A save after only rejected adds rewrites the identical header/segments.
+    assert _store_state(inc_path) == before
 
 
 def test_revision_is_monotonic_and_survives_round_trips(tmp_path, spec, corpus):
@@ -173,7 +185,9 @@ def test_cluster_info_reports_revision_and_index_stats(tmp_path, spec, corpus, c
     out = capsys.readouterr().out
     assert f"format version: {FORMAT_VERSION}\n" in out
     assert "revision:       1" in out
-    assert "indexed=" in out
+    assert "segments:" in out
+    assert "  seg-" in out
+    assert "skeleton=" in out
 
 
 def test_cluster_info_identifies_stale_store_without_error(tmp_path, capsys):

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repository's markdown documentation.
+
+Scans ``README.md`` and every ``docs/*.md`` file for inline markdown links
+and images (``[text](target)`` / ``![alt](target)``) and checks that each
+relative target exists on disk, resolved against the file that references
+it.  External schemes (``http://``, ``https://``, ``mailto:``) and pure
+in-page anchors (``#section``) are skipped; an anchor suffix on a file
+target (``FILE.md#section``) is stripped before the existence check —
+anchor names themselves are not validated.  Fenced code blocks are ignored
+so shell snippets like ``tar [options](file)`` never false-positive.
+
+Stdlib only; exit status 0 when every link resolves, 1 otherwise (one
+``file: target`` line per dead link on stderr).  Run from anywhere::
+
+    python tools/check_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown link or image: ``[text](target)`` with no nested
+#: brackets in the text and no whitespace in the target.
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+FENCE = re.compile(r"^(```|~~~)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_links(text: str):
+    """Yield link targets outside fenced code blocks."""
+    in_fence = False
+    for line in text.splitlines():
+        if FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK.finditer(line):
+            yield match.group(1)
+
+
+def check_file(path: Path) -> list[str]:
+    """Dead relative link targets referenced by ``path``."""
+    dead = []
+    for target in iter_links(path.read_text()):
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        if not (path.parent / relative).exists():
+            dead.append(target)
+    return dead
+
+
+def main() -> int:
+    files = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+    failures = 0
+    checked = 0
+    for path in files:
+        if not path.exists():
+            continue
+        checked += 1
+        for target in check_file(path):
+            failures += 1
+            print(f"{path.relative_to(REPO_ROOT)}: {target}", file=sys.stderr)
+    if failures:
+        print(f"{failures} dead link(s) across {checked} file(s)", file=sys.stderr)
+        return 1
+    print(f"all relative links resolve across {checked} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
