@@ -14,6 +14,7 @@ Examples::
     repro-clara batch --problem derivatives --attempts submissions/ \
         --clusters clusters.json --workers 4 --output report.jsonl
     repro-clara serve --clusters clusters.json --port 9172
+    repro-clara serve --clusters a.json --clusters b.json --fleet 2
     repro-clara list-problems
 """
 
@@ -362,42 +363,88 @@ def _write_batch_profile(args, spec, profiler, clara, report) -> Path:
     return path
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    from .service import RepairServer, RepairService
+def _build_serve_service(args: argparse.Namespace):
+    """Build the single-process service or the fleet router for ``serve``.
 
-    try:
-        service = RepairService(
-            queue_size=args.queue_size,
-            workers=args.workers,
+    Returns ``(service, description)`` or raises the store/problem errors
+    the caller already maps to exit code 2.
+    """
+    if args.fleet is not None:
+        from .fleet import FleetService
+
+        fleet_kwargs = {}
+        if args.kill_after is not None:
+            # None means "use the supervisor default" here; FleetService's
+            # own None means "disable the kill watchdog".
+            fleet_kwargs["kill_after"] = args.kill_after
+        service = FleetService(
+            args.clusters,
+            fleet_size=args.fleet,
+            threads=args.workers,
             default_deadline=args.deadline,
+            fault_plan_path=args.fault_plan,
+            **fleet_kwargs,
         )
-    except ValueError as exc:
-        # The service constructor owns the bounds (queue_size/workers >= 1);
-        # surface its message rather than duplicating the checks here.
-        print(str(exc), file=sys.stderr)
-        return 2
+        if not service.wait_ready(60.0):
+            # Shards that never came up answer with structured retriable
+            # errors; serving the healthy ones beats refusing to start.
+            print("warning: not every fleet shard reached serving", file=sys.stderr)
+        for shard, names in enumerate(service._shard_problems):
+            print(f"fleet shard {shard}: {', '.join(names)}", file=sys.stderr)
+        description = (
+            f"{len(service.problems())} problems, fleet of {service.fleet_size}, "
+            f"{args.workers} threads/worker"
+        )
+        return service, description
+
+    from .service import RepairService
+
+    service = RepairService(
+        queue_size=args.queue_size,
+        workers=args.workers,
+        default_deadline=args.deadline,
+    )
     for store_path in args.clusters:
-        try:
-            runtime = service.add_problem(store_path)
-        except (ClusterStoreError, ValueError) as exc:
-            print(str(exc), file=sys.stderr)
-            return 2
-        except KeyError as exc:
-            print(exc.args[0], file=sys.stderr)
-            return 2
+        runtime = service.add_problem(store_path)
         print(
             f"loaded problem {runtime.name!r} from {store_path} "
             f"(revision {runtime.revision}, "
             f"{runtime.snapshot().engine.clara.cluster_count} clusters)",
             file=sys.stderr,
         )
-    server = RepairServer(service, host=args.host, port=args.port)
+    description = (
+        f"{len(service.problems())} problems, queue {args.queue_size}, "
+        f"{args.workers} workers"
+    )
+    return service, description
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import RepairServer
+
+    if args.fault_plan and args.fleet is None:
+        print("--fault-plan requires --fleet (faults are injected in workers)", file=sys.stderr)
+        return 2
+    try:
+        service, description = _build_serve_service(args)
+    except ValueError as exc:
+        # The constructors own the bounds (queue_size/workers/fleet >= 1);
+        # surface their messages rather than duplicating the checks here.
+        print(str(exc), file=sys.stderr)
+        return 2
+    except ClusterStoreError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    server = RepairServer(
+        service, host=args.host, port=args.port, drain_timeout=args.drain_timeout
+    )
 
     def announce(bound: "RepairServer") -> None:
         print(
-            f"repro-clara service listening on {bound.host}:{bound.port} "
-            f"({len(service.problems())} problems, queue {args.queue_size}, "
-            f"{args.workers} workers)",
+            f"repro-clara service listening on {bound.host}:{bound.port} ({description})",
             file=sys.stderr,
         )
         if args.ready_file:
@@ -412,14 +459,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             os.replace(tmp, ready)
 
     try:
-        asyncio.run(server.serve(on_ready=announce))
+        # SIGTERM/SIGINT trigger the same graceful drain as the shutdown
+        # op: stop admitting, answer stragglers with retriable "draining"
+        # errors, give in-flight repairs --drain-timeout seconds.
+        asyncio.run(server.serve(on_ready=announce, handle_signals=True))
     except KeyboardInterrupt:
         pass
     finally:
         service.close()
         if args.ready_file:
             # A stale ready file would hand the next run's pollers a dead
-            # (or, with --port 0, wrong) address.
+            # (or, with --port 0, wrong) address.  unlink runs on *every*
+            # exit path — clean drain, Ctrl-C, or a serve() crash.
             Path(args.ready_file).unlink(missing_ok=True)
     print("service stopped", file=sys.stderr)
     return 0
@@ -591,6 +642,35 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write 'host port' to this file once the socket is bound "
         "(readiness signal for supervisors; resolves --port 0)",
+    )
+    p_serve.add_argument(
+        "--fleet",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve through N supervised worker subprocesses (crash-isolated "
+        "shards, one warm engine set per worker) instead of in-process; "
+        "--workers then sets threads per worker (see docs/SERVICE.md)",
+    )
+    p_serve.add_argument(
+        "--fault-plan",
+        default=None,
+        help="JSON fault-injection plan handed to every fleet worker "
+        "(tests and soak benchmarks only; requires --fleet)",
+    )
+    p_serve.add_argument(
+        "--kill-after",
+        type=float,
+        default=None,
+        help="fleet only: kill a worker whose current request has been "
+        "processing this many seconds (default 60)",
+    )
+    p_serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="seconds in-flight requests get to finish on SIGTERM/SIGINT/"
+        "shutdown before connections are closed",
     )
     p_serve.set_defaults(func=_cmd_serve)
 

@@ -51,6 +51,11 @@ class RepairStatus:
     NO_STRUCTURAL_MATCH = "no-structural-match"
     NO_REPAIR = "no-repair"
     TIMEOUT = "timeout"
+    #: An unexpected exception escaped the repair of this one attempt (an
+    #: interpreter or solver bug tripped by a pathological submission).
+    #: The batch engine reports it as a per-attempt terminal status so one
+    #: bad attempt cannot take down a whole batch or a serving worker.
+    INTERNAL_ERROR = "internal-error"
 
 
 @dataclass

@@ -295,7 +295,22 @@ class BatchRepairEngine:
         return items
 
     def _repair_one(self, item: BatchAttempt, budget: float | None) -> "RepairOutcome":
-        return self.clara._repair_attempt(item.source, budget=budget)
+        started = time.perf_counter()
+        try:
+            return self.clara._repair_attempt(item.source, budget=budget)
+        except Exception as exc:  # noqa: BLE001 - crash isolation per attempt
+            # Store-staleness must keep propagating: the service layer
+            # transparently re-runs those on the current store generation.
+            from ..clusterstore.store import ClusterStoreError
+            from ..core.pipeline import RepairOutcome, RepairStatus
+
+            if isinstance(exc, ClusterStoreError):
+                raise
+            return RepairOutcome(
+                status=RepairStatus.INTERNAL_ERROR,
+                detail=f"{type(exc).__name__}: {exc}",
+                elapsed=time.perf_counter() - started,
+            )
 
     @staticmethod
     def _record(item: BatchAttempt, outcome: "RepairOutcome") -> BatchRecord:

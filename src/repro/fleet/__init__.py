@@ -1,0 +1,42 @@
+"""Fault-tolerant multi-process serving: router, supervisors, workers.
+
+The single-process daemon (:mod:`repro.service`) runs untrusted student
+programs on the serving path with the GIL capping throughput at one core;
+one pathological submission can stall the process for everyone.  This
+package is the robustness-first router/worker split:
+
+* :mod:`repro.fleet.router` — :class:`FleetService`, the front process:
+  speaks the unchanged NDJSON protocol and routes by problem to shards;
+* :mod:`repro.fleet.supervisor` — :class:`WorkerSupervisor` /
+  :class:`BackoffPolicy`: worker lifecycle, heartbeats, kill deadlines,
+  retry-once crash recovery, exponential-backoff restarts and the
+  circuit breaker;
+* :mod:`repro.fleet.worker` — the dumb subprocess entrypoint
+  (``python -m repro.fleet.worker``), a warm
+  :class:`~repro.service.service.RepairService` behind an NDJSON
+  stdin/stdout loop;
+* :mod:`repro.fleet.faults` — :class:`FaultPlan`, the deterministic
+  fault-injection layer every failure mode above is tested through.
+
+Invariant the whole package is built around: **no lost requests** — every
+request admitted by the router resolves to a repair, a ``timeout``, or a
+structured (usually retriable) error, regardless of which worker died
+when.  ``repro-clara serve --fleet N`` is the CLI entry point;
+``docs/SERVICE.md`` ("Fleet operations") is the operator guide.
+
+Dependency direction: ``fleet → service → engine → core``; nothing below
+imports this package.
+"""
+
+from .faults import Fault, FaultPlan, FaultPlanError
+from .router import FleetService
+from .supervisor import BackoffPolicy, WorkerSupervisor
+
+__all__ = [
+    "BackoffPolicy",
+    "Fault",
+    "FaultPlan",
+    "FaultPlanError",
+    "FleetService",
+    "WorkerSupervisor",
+]

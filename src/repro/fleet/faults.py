@@ -1,0 +1,192 @@
+"""Deterministic fault injection for the worker fleet.
+
+Every failure mode the supervisor must survive — a worker crashing
+mid-request, hanging past its kill deadline, or responding slowly — is
+driven by a :class:`FaultPlan`: a list of rules a worker consults *before*
+handling each request.  Faults key on deterministic coordinates only —
+which worker, which process incarnation (0 = first spawn, 1 = first
+respawn, ...), which op, and the 0-based ordinal of that op within the
+incarnation — never on wall-clock time or randomness, so a test or soak
+run that replays the same request stream observes the same crashes, kills
+and retries every time (the recovery counters in ``results/fleet_soak.json``
+are byte-stable because of this).
+
+Plans serialise to a small JSON document (``repro-clara serve
+--fault-plan plan.json`` hands the path to every worker it spawns)::
+
+    {"faults": [
+        {"worker": 0, "incarnation": 0, "op": "repair", "request": 3,
+         "action": "crash", "exit_code": 9},
+        {"worker": 0, "incarnation": 1, "request": 4,
+         "action": "hang", "seconds": 3600},
+        {"worker": 1, "request": 2, "action": "delay", "seconds": 0.05}
+    ]}
+
+``worker`` and ``incarnation`` may be omitted (match any); ``op``
+defaults to ``repair``.  An omitted ``incarnation`` makes a fault fire in
+*every* incarnation — the recipe for a flapping worker that trips the
+circuit breaker.
+
+Actions:
+
+``crash``
+    ``os._exit(exit_code)`` before answering — the hard-crash shape
+    (no cleanup, pending requests stranded), indistinguishable from a
+    SIGKILL to the supervisor.
+``hang``
+    Sleep ``seconds`` (default one hour) before proceeding — far past any
+    kill deadline, so the watchdog's SIGKILL always wins.
+``delay``
+    Sleep ``seconds`` then answer normally — exercises slow-worker paths
+    without a death.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["Fault", "FaultPlan", "FaultPlanError", "ACTIONS"]
+
+#: The supported fault actions.
+ACTIONS = ("crash", "hang", "delay")
+
+#: Default sleep for ``hang`` — far beyond any sane kill deadline.
+DEFAULT_HANG_SECONDS = 3600.0
+
+#: Default worker exit status for ``crash`` (an arbitrary nonzero value
+#: distinct from the usage-error exits the worker CLI uses).
+DEFAULT_EXIT_CODE = 23
+
+
+class FaultPlanError(ValueError):
+    """A fault-plan document that cannot be interpreted."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injection rule.
+
+    Attributes:
+        action: One of :data:`ACTIONS`.
+        request: 0-based ordinal among this incarnation's requests of
+            ``op``.
+        worker: Worker id the rule applies to; ``None`` matches any.
+        incarnation: Process incarnation (0 = first spawn); ``None``
+            matches every incarnation — the flapping-worker shape.
+        op: The request op counted and matched (default ``repair``).
+        seconds: Sleep duration for ``hang``/``delay``.
+        exit_code: Process exit status for ``crash``.
+    """
+
+    action: str
+    request: int
+    worker: int | None = None
+    incarnation: int | None = None
+    op: str = "repair"
+    seconds: float = DEFAULT_HANG_SECONDS
+    exit_code: int = DEFAULT_EXIT_CODE
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise FaultPlanError(
+                f"unknown fault action {self.action!r} (expected one of {', '.join(ACTIONS)})"
+            )
+        if self.request < 0:
+            raise FaultPlanError(f"fault request ordinal must be >= 0, got {self.request}")
+
+    def matches(self, *, worker: int, incarnation: int, op: str, ordinal: int) -> bool:
+        return (
+            (self.worker is None or self.worker == worker)
+            and (self.incarnation is None or self.incarnation == incarnation)
+            and self.op == op
+            and self.request == ordinal
+        )
+
+    def to_json(self) -> dict:
+        payload: dict = {"action": self.action, "request": self.request, "op": self.op}
+        if self.worker is not None:
+            payload["worker"] = self.worker
+        if self.incarnation is not None:
+            payload["incarnation"] = self.incarnation
+        if self.action in ("hang", "delay"):
+            payload["seconds"] = self.seconds
+        if self.action == "crash":
+            payload["exit_code"] = self.exit_code
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: object) -> "Fault":
+        if not isinstance(payload, dict):
+            raise FaultPlanError("each fault must be a JSON object")
+        unknown = set(payload) - {
+            "action", "request", "worker", "incarnation", "op", "seconds", "exit_code",
+        }
+        if unknown:
+            raise FaultPlanError(f"unknown fault fields: {', '.join(sorted(unknown))}")
+        try:
+            return cls(
+                action=payload["action"],
+                request=int(payload["request"]),
+                worker=None if payload.get("worker") is None else int(payload["worker"]),
+                incarnation=(
+                    None
+                    if payload.get("incarnation") is None
+                    else int(payload["incarnation"])
+                ),
+                op=payload.get("op", "repair"),
+                seconds=float(payload.get("seconds", DEFAULT_HANG_SECONDS)),
+                exit_code=int(payload.get("exit_code", DEFAULT_EXIT_CODE)),
+            )
+        except KeyError as exc:
+            raise FaultPlanError(f"fault is missing the {exc.args[0]!r} field") from exc
+        except (TypeError, ValueError) as exc:
+            raise FaultPlanError(f"malformed fault: {exc}") from exc
+
+
+class FaultPlan:
+    """An ordered set of :class:`Fault` rules; the empty plan injects nothing."""
+
+    def __init__(self, faults: "tuple[Fault, ...] | list[Fault]" = ()) -> None:
+        self.faults = tuple(faults)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def lookup(
+        self, *, worker: int, incarnation: int, op: str, ordinal: int
+    ) -> Fault | None:
+        """The first rule matching this request, or ``None``."""
+        for fault in self.faults:
+            if fault.matches(worker=worker, incarnation=incarnation, op=op, ordinal=ordinal):
+                return fault
+        return None
+
+    # -- serialisation -------------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {"faults": [fault.to_json() for fault in self.faults]}
+
+    @classmethod
+    def from_json(cls, payload: object) -> "FaultPlan":
+        if not isinstance(payload, dict) or not isinstance(payload.get("faults"), list):
+            raise FaultPlanError(
+                "a fault plan is a JSON object with a 'faults' list"
+            )
+        return cls(tuple(Fault.from_json(entry) for entry in payload["faults"]))
+
+    def save(self, path: "str | Path") -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_json(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "FaultPlan":
+        try:
+            payload = json.loads(Path(path).read_text())
+        except OSError as exc:
+            raise FaultPlanError(f"cannot read fault plan {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"fault plan {path} is not valid JSON: {exc}") from exc
+        return cls.from_json(payload)

@@ -26,19 +26,29 @@ Dependency direction: ``service → engine → core``; nothing below imports
 this package.
 """
 
-from .client import ServiceClient
-from .protocol import PROTOCOL_VERSION, ProtocolError, Request, parse_request_line
+from .client import RetryPolicy, ServiceClient
+from .protocol import (
+    PROTOCOL_VERSION,
+    RETRIABLE_CODES,
+    ProtocolError,
+    Request,
+    is_retriable,
+    parse_request_line,
+)
 from .server import RepairServer
 from .service import ProblemRuntime, RepairService, ServiceStats
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "RETRIABLE_CODES",
     "ProblemRuntime",
     "ProtocolError",
     "RepairServer",
     "RepairService",
     "Request",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceStats",
+    "is_retriable",
     "parse_request_line",
 ]

@@ -3,9 +3,9 @@
 Kept dependency-free (plain sockets) so the CI smoke job and operators can
 round-trip a request without the library's heavier machinery::
 
-    from repro.service import ServiceClient
+    from repro.service import RetryPolicy, ServiceClient
 
-    with ServiceClient("127.0.0.1", 9172) as client:
+    with ServiceClient("127.0.0.1", 9172, retry=RetryPolicy()) as client:
         client.ping()
         response = client.repair("def f(x):\\n    return x", problem="square")
         print(response["status"], response["feedback"])
@@ -13,16 +13,69 @@ round-trip a request without the library's heavier machinery::
 Equivalent by hand (the protocol is one JSON object per line)::
 
     printf '{"op": "ping"}\\n' | nc 127.0.0.1 9172
+
+Retries.  A fleet front end answers transient failures with structured
+errors flagged ``retriable`` (worker crash surfaced after its retry, a
+tripped circuit breaker, admission overload, a draining server) and may
+briefly refuse connections while restarting.  :class:`RetryPolicy` bounds
+how a client rides those out: exponential backoff on connect failure and
+on retriable error responses, with optional jitter — leave ``jitter`` at
+``0.0`` (the default) for the deterministic delay sequence the tests
+assert on.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
+from dataclasses import dataclass
+from typing import Callable
 
-from .protocol import MAX_LINE_BYTES
+from .protocol import MAX_LINE_BYTES, is_retriable
 
-__all__ = ["ServiceClient"]
+__all__ = ["RetryPolicy", "ServiceClient"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for connects and retriable errors.
+
+    Attributes:
+        attempts: Total tries (first attempt included); must be >= 1.
+        base_delay: Delay before the first retry, in seconds.
+        factor: Multiplier applied per retry.
+        max_delay: Ceiling on a single delay.
+        jitter: Fraction of each delay added uniformly at random in
+            ``[0, jitter * delay]``.  ``0.0`` (default) is the
+            deterministic, jitter-free mode; production fleets of clients
+            should set e.g. ``0.25`` so synchronised failures do not
+            re-dogpile the server on the same schedule.
+        seed: Seeds the jitter RNG; ``None`` draws from the global RNG.
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.05
+    factor: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.0
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+
+    def delays(self) -> list[float]:
+        """The back-off delay after each failed attempt (length ``attempts - 1``)."""
+        rng = random.Random(self.seed)
+        delays = []
+        for index in range(self.attempts - 1):
+            delay = min(self.max_delay, self.base_delay * self.factor**index)
+            if self.jitter > 0:
+                delay += rng.uniform(0.0, self.jitter * delay)
+            delays.append(delay)
+        return delays
 
 
 class ServiceClient:
@@ -32,6 +85,13 @@ class ServiceClient:
         host: Server address.
         port: Server port.
         timeout: Socket timeout in seconds for connect and each response.
+        retry: When given, the initial connect retries on refusal/reset
+            with this policy, and :meth:`request_with_retry` (which
+            :meth:`repair` & co. route through) re-sends requests that
+            fail with a *retriable* structured error or a lost
+            connection.  ``None`` (the default) preserves the historical
+            fail-fast behaviour: one connect, one send, first answer wins.
+        sleep: Backoff sleeper, injectable for tests.
 
     Thread safety: not thread-safe — requests and responses are paired by
     order on one connection, so share a client between threads only with
@@ -39,17 +99,55 @@ class ServiceClient:
     handles connections independently).
     """
 
-    def __init__(self, host: str, port: int, *, timeout: float = 60.0) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 60.0,
+        retry: RetryPolicy | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._retry = retry
+        self._sleep = sleep
+        self._sock: socket.socket | None = None
+        self._file = None
+        self._connect(retry)
 
     # -- lifecycle ----------------------------------------------------------------
 
+    def _connect(self, retry: RetryPolicy | None) -> None:
+        delays = retry.delays() if retry is not None else []
+        for index in range(len(delays) + 1):
+            try:
+                self._sock = socket.create_connection(
+                    (self._host, self._port), timeout=self._timeout
+                )
+                self._file = self._sock.makefile("rwb")
+                return
+            except OSError:
+                if index >= len(delays):
+                    raise
+                self._sleep(delays[index])
+
+    def _reconnect(self) -> None:
+        self.close()
+        # The per-call connect never re-loops itself: request_with_retry
+        # owns the attempt budget, one reconnect per attempt.
+        self._connect(None)
+
     def close(self) -> None:
         try:
-            self._file.close()
+            if self._file is not None:
+                self._file.close()
         finally:
-            self._sock.close()
+            if self._sock is not None:
+                self._sock.close()
+            self._file = None
+            self._sock = None
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -64,12 +162,58 @@ class ServiceClient:
         self.send_raw(json.dumps(payload))
         return self.read_response()
 
+    def request_with_retry(
+        self, payload: dict, *, retry: RetryPolicy | None = None
+    ) -> dict:
+        """Send a request, retrying transient failures with backoff.
+
+        Retries when the response is a structured error flagged retriable
+        (``error.retriable`` true, or — for servers predating the field —
+        a code in :data:`~repro.service.protocol.RETRIABLE_CODES`) and when
+        the connection drops mid-request (reconnecting first).  Permanent
+        errors and successful responses return immediately; the last
+        response is returned when the attempt budget runs out, and the
+        last connection error re-raises likewise.
+
+        Args:
+            payload: The request object.
+            retry: Overrides the client-wide policy for this call; with
+                neither set, behaves exactly like :meth:`request`.
+        """
+        policy = retry if retry is not None else self._retry
+        if policy is None:
+            return self.request(payload)
+        delays = policy.delays()
+        response: dict | None = None
+        for index in range(len(delays) + 1):
+            try:
+                if self._sock is None:
+                    self._reconnect()
+                response = self.request(payload)
+            except OSError:
+                # Connection lost (or reconnect refused): drop the socket
+                # so the next attempt reconnects; re-raise on the last.
+                self.close()
+                if index >= len(delays):
+                    raise
+            else:
+                if not is_retriable(response):
+                    return response
+            if index < len(delays):
+                self._sleep(delays[index])
+        assert response is not None
+        return response
+
     def send_raw(self, line: str) -> None:
         """Send a raw line verbatim (tests use this to send malformed input)."""
+        if self._file is None:
+            raise ConnectionError("client is closed")
         self._file.write(line.encode("utf-8") + b"\n")
         self._file.flush()
 
     def read_response(self) -> dict:
+        if self._file is None:
+            raise ConnectionError("client is closed")
         line = self._file.readline(MAX_LINE_BYTES)
         if not line:
             raise ConnectionError("server closed the connection")
@@ -78,7 +222,7 @@ class ServiceClient:
     # -- convenience ops -----------------------------------------------------------
 
     def ping(self) -> dict:
-        return self.request({"op": "ping"})
+        return self.request_with_retry({"op": "ping"})
 
     def repair(
         self,
@@ -95,16 +239,16 @@ class ServiceClient:
             payload["id"] = request_id
         if deadline is not None:
             payload["deadline"] = deadline
-        return self.request(payload)
+        return self.request_with_retry(payload)
 
     def stats(self) -> dict:
-        return self.request({"op": "stats"})
+        return self.request_with_retry({"op": "stats"})
 
     def reload(self, problem: str | None = None) -> dict:
         payload: dict = {"op": "reload"}
         if problem is not None:
             payload["problem"] = problem
-        return self.request(payload)
+        return self.request_with_retry(payload)
 
     def shutdown(self) -> dict:
         return self.request({"op": "shutdown"})

@@ -27,8 +27,19 @@ re-synchronised and closes the connection after the error response).
 
 Error codes: ``bad-json`` (line is not valid JSON), ``bad-request``
 (valid JSON but not a valid request), ``unknown-op``, ``unknown-problem``,
-``overloaded`` (admission queue full), ``internal`` (unexpected server-side
-failure).
+``overloaded`` (admission queue full), ``stale-store`` (the store changed
+on disk under a serving engine), ``worker-crashed`` (a fleet worker died
+while holding the request, after its one retry on the respawn),
+``shard-unavailable`` (the circuit breaker marked the problem's worker
+shard down), ``draining`` (the server is shutting down and no longer
+admits work), ``internal`` (unexpected server-side failure).
+
+Every error object carries ``retriable``: ``true`` means the failure is
+transient — the same request may succeed if re-sent after a backoff
+(:data:`RETRIABLE_CODES`); ``false`` means re-sending verbatim cannot
+help.  Responses from servers predating the field omit it; clients must
+treat a missing ``retriable`` as ``false`` (see
+:meth:`repro.service.client.ServiceClient.request_with_retry`).
 
 All protocol values are machine-independent except ``elapsed`` on repair
 responses, which is wall-clock and informational only.
@@ -44,11 +55,14 @@ __all__ = [
     "PROTOCOL_VERSION",
     "MAX_LINE_BYTES",
     "OPS",
+    "ERROR_CODES",
+    "RETRIABLE_CODES",
     "ProtocolError",
     "Request",
     "parse_request",
     "parse_request_line",
     "error_payload",
+    "is_retriable",
 ]
 
 #: Bump when the wire format changes incompatibly.  Responses to ``ping``
@@ -62,6 +76,44 @@ MAX_LINE_BYTES = 4 * 1024 * 1024
 
 #: The operations a server understands.
 OPS = ("repair", "ping", "stats", "reload", "shutdown")
+
+#: Every structured error code a server may answer with.
+ERROR_CODES = (
+    "bad-json",
+    "bad-request",
+    "unknown-op",
+    "unknown-problem",
+    "overloaded",
+    "stale-store",
+    "worker-crashed",
+    "shard-unavailable",
+    "draining",
+    "internal",
+)
+
+#: Codes whose failures are transient: the identical request may succeed if
+#: re-sent after a backoff.  Everything else is permanent for that payload.
+RETRIABLE_CODES = frozenset(
+    {"overloaded", "stale-store", "worker-crashed", "shard-unavailable", "draining"}
+)
+
+
+def is_retriable(response: dict) -> bool:
+    """Whether a decoded response is a retriable structured error.
+
+    Tolerates old servers: a payload without the ``retriable`` field falls
+    back to the :data:`RETRIABLE_CODES` classification of its code, and a
+    non-error (or unparseable) payload is never retriable.
+    """
+    if not isinstance(response, dict) or response.get("ok") is not False:
+        return False
+    error = response.get("error")
+    if not isinstance(error, dict):
+        return False
+    retriable = error.get("retriable")
+    if isinstance(retriable, bool):
+        return retriable
+    return error.get("code") in RETRIABLE_CODES
 
 
 class ProtocolError(ValueError):
@@ -150,9 +202,25 @@ def parse_request_line(line: str) -> Request:
     return parse_request(payload)
 
 
-def error_payload(code: str, message: str, request_id: object = None) -> dict:
-    """A structured error response body."""
-    response: dict = {"ok": False, "error": {"code": code, "message": message}}
+def error_payload(
+    code: str,
+    message: str,
+    request_id: object = None,
+    *,
+    retriable: bool | None = None,
+) -> dict:
+    """A structured error response body.
+
+    ``retriable`` defaults to the :data:`RETRIABLE_CODES` classification of
+    ``code``; pass it explicitly only to override (e.g. an ``internal``
+    failure known to be a transient resource problem).
+    """
+    if retriable is None:
+        retriable = code in RETRIABLE_CODES
+    response: dict = {
+        "ok": False,
+        "error": {"code": code, "message": message, "retriable": retriable},
+    }
     if request_id is not None:
         response["id"] = request_id
     return response

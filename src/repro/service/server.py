@@ -13,12 +13,23 @@ reproduction, so any client may send ``{"op": "shutdown"}`` — the server
 answers it, stops accepting connections, closes the remaining ones and
 returns from :meth:`RepairServer.serve`.  Bind to localhost (the default)
 when that matters.
+
+Every stop — shutdown op, :meth:`RepairServer.request_stop`, or SIGTERM /
+SIGINT when :meth:`serve` was asked to handle signals — is a *graceful
+drain*: the listening socket closes first (no new connections), lines
+that arrive on open connections while draining are answered with a
+retriable ``draining`` error instead of being processed, and in-flight
+requests get up to ``drain_timeout`` seconds to finish before the
+connections are torn down.  A request that was admitted is therefore
+always answered (or the client sees a clean close only after the drain
+budget expires), never silently dropped mid-repair.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import signal
 from typing import Callable
 
 from .protocol import MAX_LINE_BYTES, error_payload
@@ -35,10 +46,14 @@ class RepairServer:
     """The TCP line pump over a :class:`RepairService`.
 
     Args:
-        service: The service handling parsed requests.
+        service: The service handling parsed requests (anything with an
+            ``async handle_line(str) -> dict`` — the single-process
+            :class:`RepairService` or the fleet router).
         host: Interface to bind (default localhost).
         port: TCP port; ``0`` picks an ephemeral port, readable from
             :attr:`port` once :meth:`serve` has bound (the tests do this).
+        drain_timeout: Seconds in-flight requests get to finish once a
+            stop is requested, before connections are closed anyway.
 
     Thread safety: :meth:`serve` runs on one event loop;
     :meth:`request_stop` is the only method safe to call from other
@@ -51,33 +66,78 @@ class RepairServer:
         *,
         host: str = DEFAULT_HOST,
         port: int = DEFAULT_PORT,
+        drain_timeout: float = 10.0,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
+        self.drain_timeout = drain_timeout
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stop: asyncio.Event | None = None
         self._writers: set[asyncio.StreamWriter] = set()
+        self._draining = False
+        self._inflight = 0
+        self._idle: asyncio.Event | None = None
+        self._handlers: set[asyncio.Task] = set()
 
-    async def serve(self, on_ready: Callable[["RepairServer"], None] | None = None) -> None:
-        """Bind, serve until a shutdown is requested, then close cleanly.
+    async def serve(
+        self,
+        on_ready: Callable[["RepairServer"], None] | None = None,
+        *,
+        handle_signals: bool = False,
+    ) -> None:
+        """Bind, serve until a shutdown is requested, then drain and close.
 
         ``on_ready`` is invoked once the socket is bound (with :attr:`port`
         resolved), which is how the CLI prints the listening address and
         how tests learn the ephemeral port.
+
+        With ``handle_signals`` SIGTERM and SIGINT request a graceful
+        drain instead of killing the process mid-repair (ignored where
+        the loop cannot own signal handlers — non-main threads, or
+        platforms without ``add_signal_handler``).
         """
         self._loop = asyncio.get_running_loop()
         self._stop = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._draining = False
+        if handle_signals:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    self._loop.add_signal_handler(signum, self._stop.set)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    break  # not the main thread / unsupported platform
         server = await asyncio.start_server(
             self._handle_client, self.host, self.port, limit=MAX_LINE_BYTES
         )
         self.port = server.sockets[0].getsockname()[1]
         if on_ready is not None:
             on_ready(self)
-        async with server:
-            await self._stop.wait()
-            for writer in list(self._writers):
-                writer.close()
+        try:
+            async with server:
+                await self._stop.wait()
+                # Drain: stop accepting, answer new lines with a retriable
+                # "draining" error, give in-flight repairs a bounded window.
+                self._draining = True
+                server.close()
+                try:
+                    await asyncio.wait_for(self._idle.wait(), self.drain_timeout)
+                except asyncio.TimeoutError:
+                    pass
+                for writer in list(self._writers):
+                    writer.close()
+                # Let the connection handlers observe EOF and finish, so
+                # loop teardown never cancels one mid-readline.
+                if self._handlers:
+                    await asyncio.wait(set(self._handlers), timeout=1.0)
+        finally:
+            if handle_signals:
+                for signum in (signal.SIGTERM, signal.SIGINT):
+                    try:
+                        self._loop.remove_signal_handler(signum)
+                    except (NotImplementedError, RuntimeError, ValueError):
+                        break
 
     def request_stop(self) -> None:
         """Ask a running :meth:`serve` to return; safe from any thread.
@@ -93,6 +153,9 @@ class RepairServer:
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
         self._writers.add(writer)
         try:
             while True:
@@ -114,7 +177,18 @@ class RepairServer:
                 text = line.decode("utf-8", errors="replace").strip()
                 if not text:
                     continue
-                response = await self.service.handle_line(text)
+                if self._draining:
+                    await self._send(writer, self._draining_error(text))
+                    continue
+                self._inflight += 1
+                if self._idle is not None:
+                    self._idle.clear()
+                try:
+                    response = await self.service.handle_line(text)
+                finally:
+                    self._inflight -= 1
+                    if self._inflight == 0 and self._idle is not None:
+                        self._idle.set()
                 await self._send(writer, response)
                 if response.get("ok") and response.get("op") == "shutdown":
                     if self._stop is not None:
@@ -124,11 +198,27 @@ class RepairServer:
             pass
         finally:
             self._writers.discard(writer)
+            if task is not None:
+                self._handlers.discard(task)
             writer.close()
             try:
                 await writer.wait_closed()
             except ConnectionError:
                 pass
+
+    @staticmethod
+    def _draining_error(text: str) -> dict:
+        """A retriable refusal for a line that arrived after a stop request."""
+        request_id = None
+        try:
+            payload = json.loads(text)
+            if isinstance(payload, dict):
+                request_id = payload.get("id")
+        except json.JSONDecodeError:
+            pass
+        return error_payload(
+            "draining", "server is draining for shutdown; retry elsewhere", request_id
+        )
 
     @staticmethod
     async def _send(writer: asyncio.StreamWriter, response: dict) -> None:
