@@ -61,15 +61,24 @@ def test_clustering_scale(benchmark, results_dir, local_results_dir):
         problem = get_problem(problem_name)
         corpus = generate_corpus(problem, n_correct, 0, seed=2018)
 
+        # Both arms disable the retrieval prefilter (benchmark E11 measures
+        # it separately) so the committed counts isolate what *fingerprint
+        # pruning* alone saves.
         started = time.perf_counter()
         exhaustive = cluster_programs(
-            _parse_pool(problem, corpus.correct_sources), problem.cases, prune=False
+            _parse_pool(problem, corpus.correct_sources),
+            problem.cases,
+            prune=False,
+            prefilter=False,
         )
         exhaustive_time = time.perf_counter() - started
 
         started = time.perf_counter()
         pruned = cluster_programs(
-            _parse_pool(problem, corpus.correct_sources), problem.cases, prune=True
+            _parse_pool(problem, corpus.correct_sources),
+            problem.cases,
+            prune=True,
+            prefilter=False,
         )
         pruned_time = time.perf_counter() - started
 
@@ -132,7 +141,9 @@ def test_clustering_scale(benchmark, results_dir, local_results_dir):
     problem, _size, corpus = widest
     programs = _parse_pool(problem, corpus.correct_sources)
     result = benchmark(
-        lambda: cluster_programs(programs, problem.cases, prune=True)
+        lambda: cluster_programs(
+            programs, problem.cases, prune=True, prefilter=False
+        )
     )
     assert result.cluster_count == next(
         entry["clusters"]

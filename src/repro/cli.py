@@ -223,13 +223,38 @@ def _cmd_cluster_info(args: argparse.Namespace) -> int:
     # no segment file is opened, so 'info' stays O(header) even on stores
     # whose clusters would take seconds to decode.
     print(f"segments:       {len(header.segments)} ({header.segment_bytes()} bytes)")
+    # Retrieval-vector coverage: headers written before the prefilter
+    # existed carry no vectors and still serve fine — the prefilter just
+    # stays off (and counts fallbacks) for the affected candidates.
+    from .retrieval import decode_retrieval_payload
+
+    covered = 0
+    for entry in header.segments:
+        decoded = decode_retrieval_payload(entry.retrieval)
+        if decoded:
+            covered += len(decoded)
+    if covered and covered >= header.cluster_count:
+        retrieval_status = f"vectors for all {header.cluster_count} clusters"
+    elif covered:
+        retrieval_status = (
+            f"vectors for {covered}/{header.cluster_count} clusters "
+            f"(partial; prefilter falls back where absent)"
+        )
+    else:
+        retrieval_status = (
+            "no vectors (store predates retrieval; prefilter disabled, "
+            "exact matching only)"
+        )
+    print(f"retrieval:      {retrieval_status}")
     for entry in header.segments:
         fingerprint = (entry.fingerprint or "")[:12] or "-"
         skeleton = (entry.skeleton or "")[:12] or "-"
+        vectors = decode_retrieval_payload(entry.retrieval)
         print(
             f"  {entry.segment}: clusters={entry.clusters} "
             f"members={entry.members} bytes={entry.bytes} "
-            f"fingerprint={fingerprint} skeleton={skeleton}"
+            f"fingerprint={fingerprint} skeleton={skeleton} "
+            f"vectors={'yes' if vectors else 'no'}"
         )
     return 0
 
@@ -281,7 +306,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if not attempts:
         print(f"no attempts found at {args.attempts}", file=sys.stderr)
         return 1
-    clara = Clara(cases=spec.cases, language=spec.language, entry=spec.entry)
+    clara = Clara(
+        cases=spec.cases,
+        language=spec.language,
+        entry=spec.entry,
+        retrieval_prefilter=not args.no_prefilter,
+    )
     profiler = None
     if args.profile:
         from .core.profile import PhaseProfiler
@@ -355,6 +385,7 @@ def _write_batch_profile(args, spec, profiler, clara, report) -> Path:
         "cache": report.cache_stats.as_dict(),
         "cache_entries": clara.caches.entry_counts(),
         "store_paging": clara.store_paging(),
+        "retrieval": clara.caches.retrieval.as_dict(),
     }
     directory = Path("results") / "local"
     directory.mkdir(parents=True, exist_ok=True)
@@ -602,6 +633,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit a per-phase timing/counter breakdown (parse, exec, match, "
         "candidate-gen, TED, ILP) to results/local/batch_profile.json",
+    )
+    p_batch.add_argument(
+        "--no-prefilter",
+        action="store_true",
+        help="disable the nearest-cluster retrieval prefilter (escape hatch; "
+        "repairs are field-identical either way, only match counts differ)",
     )
     p_batch.set_defaults(func=_cmd_batch)
 

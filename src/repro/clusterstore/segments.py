@@ -137,6 +137,13 @@ class SegmentIndexEntry:
         max_cluster_id: Largest cluster id in the segment (``-1`` when
             empty); the incremental updater mints new ids from the maximum
             over all entries without paging anything in.
+        retrieval: Additive nearest-cluster retrieval payload
+            (:func:`repro.retrieval.features.retrieval_payload`): the
+            segment's integer feature-vector centroid plus one vector per
+            cluster, keyed by cluster id.  ``None`` on headers written
+            before retrieval existed — readers then disable the prefilter
+            for the affected lookups instead of erroring, so old stores
+            keep serving unchanged (format version stays 3).
     """
 
     segment: str
@@ -146,6 +153,7 @@ class SegmentIndexEntry:
     members: int
     bytes: int
     max_cluster_id: int
+    retrieval: dict | None = None
 
     def to_json(self) -> dict:
         """Plain-dict form embedded in the store header (byte-stable via
@@ -158,11 +166,16 @@ class SegmentIndexEntry:
             "members": self.members,
             "bytes": self.bytes,
             "max_cluster_id": self.max_cluster_id,
+            "retrieval": self.retrieval,
         }
 
     @classmethod
     def from_json(cls, data: object) -> "SegmentIndexEntry":
         """Strict inverse of :meth:`to_json`.
+
+        ``retrieval`` is the one lenient field: absent (pre-retrieval
+        headers) decodes as ``None`` rather than raising, so stores built
+        before the prefilter existed stay loadable.
 
         Raises:
             SerializationError: Missing or mistyped fields.
@@ -170,6 +183,7 @@ class SegmentIndexEntry:
         if not isinstance(data, dict):
             raise SerializationError(f"malformed segment index entry: {data!r}")
         try:
+            retrieval = data.get("retrieval")
             return cls(
                 segment=str(data["segment"]),
                 fingerprint=data["fingerprint"],
@@ -178,6 +192,7 @@ class SegmentIndexEntry:
                 members=int(data["members"]),
                 bytes=int(data["bytes"]),
                 max_cluster_id=int(data["max_cluster_id"]),
+                retrieval=retrieval if isinstance(retrieval, dict) else None,
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise SerializationError(
@@ -257,9 +272,14 @@ def index_entry_for(
     """Build the header index entry describing an encoded segment.
 
     ``text`` must be exactly what was (or will be) written to disk — its
-    UTF-8 length becomes the entry's ``bytes`` freshness check.  Thread
-    safety: pure function.
+    UTF-8 length becomes the entry's ``bytes`` freshness check.  The
+    retrieval payload is recomputed from the clusters' representatives, a
+    pure function of the program model, so migrated, incrementally updated
+    and freshly built stores all converge on identical header bytes.
+    Thread safety: pure function.
     """
+    from ..retrieval import retrieval_payload
+
     return SegmentIndexEntry(
         segment=name,
         fingerprint=fingerprint,
@@ -268,6 +288,7 @@ def index_entry_for(
         members=sum(cluster.size for cluster in clusters),
         bytes=len(text.encode("utf-8")),
         max_cluster_id=max((cluster.cluster_id for cluster in clusters), default=-1),
+        retrieval=retrieval_payload(list(clusters)),
     )
 
 
@@ -453,6 +474,7 @@ class SegmentPager:
                     members=0,
                     bytes=0,
                     max_cluster_id=-1,
+                    retrieval=None,  # recomputed from content at save time
                 )
                 self._by_name[name] = entry
                 self._entries.append(entry)

@@ -219,6 +219,7 @@ class LazyStoredClustering:
     def __init__(self, header: StoreHeader, pager: SegmentPager) -> None:
         self.header = header
         self.pager = pager
+        self._retrieval_vectors: dict[int, tuple[int, ...]] | None = None
 
     @property
     def language(self) -> str:
@@ -272,6 +273,30 @@ class LazyStoredClustering:
     def all_clusters(self) -> list[Cluster]:
         """Page in everything; clusters in cluster-id order."""
         return self.pager.all_clusters()
+
+    def retrieval_vectors(self) -> dict[int, tuple[int, ...]]:
+        """Per-cluster retrieval vectors merged from the header index.
+
+        Available without paging in a single segment — the vectors ride in
+        each :class:`~repro.clusterstore.segments.SegmentIndexEntry`.
+        Segments written before retrieval existed (or with a foreign
+        feature version) contribute nothing, so the result may cover only
+        part of the store; the repair prefilter checks coverage per
+        candidate set and falls back to the unranked exact ladder when a
+        candidate has no vector.  Thread safety: the merge is computed
+        once from the immutable header and memoized (racing fills agree).
+        """
+        vectors = self._retrieval_vectors
+        if vectors is None:
+            from ..retrieval import decode_retrieval_payload
+
+            vectors = {}
+            for entry in self.header.segments:
+                decoded = decode_retrieval_payload(entry.retrieval)
+                if decoded:
+                    vectors.update(decoded)
+            self._retrieval_vectors = vectors
+        return vectors
 
     def paging_counters(self) -> dict:
         """Deterministic loaded/skipped segment counters (see
@@ -976,6 +1001,24 @@ class ClusterStore:
             candidates = self._pager.clusters_for_fingerprint(fingerprint.digest)
         else:
             candidates = self.clusters
+        if len(candidates) > 1:
+            # Nearest-first scan (repro.retrieval): ∼_I is an equivalence
+            # relation, so at most one cluster can accept the program — the
+            # ranking cannot change which cluster that is, it only lets the
+            # first-match-wins loop below stop after ~1 full match.
+            from ..retrieval import (
+                DEFAULT_TOP_K,
+                cluster_feature_vector,
+                feature_vector,
+                ranked_candidates,
+            )
+
+            candidates = ranked_candidates(
+                feature_vector(program),
+                candidates,
+                cluster_feature_vector,
+                top_k=DEFAULT_TOP_K,
+            )
         order = _canonical_order(program)
         for cluster in candidates:
             in_bucket = cluster.fingerprint_digest == fingerprint.digest

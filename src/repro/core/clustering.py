@@ -320,6 +320,7 @@ def _cluster_bucket(
     cases: Sequence[InputCase],
     *,
     shared_skeleton: bool = False,
+    prefilter: bool = True,
 ) -> tuple[list[tuple[int, Cluster]], int]:
     """Cluster one fingerprint bucket sequentially.
 
@@ -333,13 +334,32 @@ def _cluster_bucket(
     construction, and the Def. 4.1 witness is the correspondence of their
     canonical CFG orders — it is handed to :func:`find_matching` so the
     lockstep structural walk runs zero times inside a bucket.
+
+    With ``prefilter`` (default), existing clusters are *tried* in
+    nearest-first feature-vector order (:mod:`repro.retrieval`) instead of
+    creation order.  ``∼_I`` is an equivalence relation, so at most one
+    cluster can accept any program — reordering a first-match-wins scan
+    cannot change which cluster that is, it only lets the scan stop after
+    ~1 full match instead of ~half the bucket.  ``full_match_calls`` still
+    counts every :func:`find_matching` invocation actually made.
     """
+    from ..retrieval import DEFAULT_TOP_K, cluster_feature_vector, feature_vector, ranked_candidates
+
     clusters: list[tuple[int, Cluster, tuple[int, ...] | None]] = []
     match_calls = 0
     for index, program, traces in items:
         order = _canonical_order(program) if shared_skeleton else None
         placed = False
-        for _, cluster, rep_order in clusters:
+        if prefilter and len(clusters) > 1:
+            scan = ranked_candidates(
+                feature_vector(program),
+                clusters,
+                lambda entry: cluster_feature_vector(entry[1]),
+                top_k=DEFAULT_TOP_K,
+            )
+        else:
+            scan = clusters
+        for _, cluster, rep_order in scan:
             match_calls += 1
             location_map = (
                 dict(zip(order, rep_order))
@@ -377,6 +397,7 @@ def cluster_programs(
     prune: bool = True,
     workers: int = 1,
     caches: "RepairCaches | None" = None,
+    prefilter: bool = True,
 ) -> ClusteringResult:
     """Cluster correct programs by dynamic equivalence.
 
@@ -400,6 +421,12 @@ def cluster_programs(
         caches: Optional :class:`repro.engine.cache.RepairCaches` through
             which program executions are routed, so a solution that also
             appears elsewhere in a batch is traced once.
+        prefilter: Try existing clusters in nearest-first feature-vector
+            order (:mod:`repro.retrieval`) instead of creation order.  The
+            resulting clustering is identical either way (at most one
+            cluster can match any program); only ``stats.full_matches``
+            shrinks.  ``prefilter=False`` restores the creation-order scan
+            for measurement.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -440,14 +467,16 @@ def cluster_programs(
 
     if workers == 1 or len(buckets) <= 1:
         bucket_results = [
-            _cluster_bucket(items, cases, shared_skeleton=prune)
+            _cluster_bucket(items, cases, shared_skeleton=prune, prefilter=prefilter)
             for items in buckets.values()
         ]
     else:
         with ThreadPoolExecutor(max_workers=workers) as pool:
             bucket_results = list(
                 pool.map(
-                    lambda items: _cluster_bucket(items, cases, shared_skeleton=prune),
+                    lambda items: _cluster_bucket(
+                        items, cases, shared_skeleton=prune, prefilter=prefilter
+                    ),
                     buckets.values(),
                 )
             )

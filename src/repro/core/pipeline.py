@@ -29,6 +29,13 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..frontend import FrontendError, ParseError, UnsupportedFeatureError, parse_source
 from ..model.program import Program
+from ..retrieval import (
+    DEFAULT_TOP_K,
+    cluster_feature_vector,
+    cluster_skeleton,
+    feature_vector,
+    ranked_candidates,
+)
 from .clustering import Cluster, ClusteringResult, cluster_programs
 from .feedback import Feedback, GENERIC_FEEDBACK_THRESHOLD, generate_feedback
 from .inputs import InputCase
@@ -107,6 +114,19 @@ class Clara:
         cluster_workers: Worker threads used to cluster fingerprint buckets
             concurrently when building clusters (the result is independent
             of this setting).
+        retrieval_prefilter: Rank candidate clusters nearest-first by
+            deterministic feature vector (:mod:`repro.retrieval`) before
+            the expensive exact procedures — full dynamic matching at
+            build time, the Def. 4.1 structural gate at repair time — and
+            cut repair candidates whose CFG skeleton provably precludes a
+            match.  The exact matcher still decides, so outcomes are
+            field-identical with the prefilter on or off
+            (``tests/test_retrieval_differential.py``); only the match
+            counters change.  ``False`` (the ``--no-prefilter`` escape
+            hatch) restores the unranked scans.
+        retrieval_top_k: Size of the nearest-first head the structural
+            gate probes before falling back to the remaining candidates in
+            original order (counted under ``retrieval.fallbacks``).
         caches: Shared memoization of traces, matches and repairs
             (:class:`repro.engine.cache.RepairCaches`).  Defaults to a fresh
             enabled instance; pass ``RepairCaches(enabled=False)`` to measure
@@ -130,6 +150,8 @@ class Clara:
     generic_threshold: float = GENERIC_FEEDBACK_THRESHOLD
     cluster_fingerprint_pruning: bool = True
     cluster_workers: int = 1
+    retrieval_prefilter: bool = True
+    retrieval_top_k: int = DEFAULT_TOP_K
     clusters: list[Cluster] = field(default_factory=list)
     clustering_failures: list[tuple[int, str]] = field(default_factory=list)
     caches: "RepairCaches | None" = None
@@ -188,6 +210,7 @@ class Clara:
             prune=self.cluster_fingerprint_pruning,
             workers=self.cluster_workers,
             caches=self.caches,
+            prefilter=self.retrieval_prefilter,
         )
         if source_indices is not None:
             result.failures = [
@@ -416,10 +439,26 @@ StoredClustering`.
         # so the gate below and the search see the same effective candidate
         # set an eager load would.
         candidates = self._candidate_clusters(program)
-        if not any(
-            self.caches.structural_match(program, cluster.representative) is not None
-            for cluster in candidates
-        ):
+        gate_order, candidates, ranked, skeleton_skipped = self._prefilter_candidates(
+            program, candidates
+        )
+        matched = False
+        attempted = 0
+        for cluster in gate_order:
+            attempted += 1
+            if self.caches.structural_match(program, cluster.representative) is not None:
+                matched = True
+                break
+        if ranked:
+            self.caches.retrieval.record(
+                ranked=len(gate_order),
+                attempted=attempted,
+                skipped=skeleton_skipped + (len(gate_order) - attempted),
+                # The match sat beyond the top-k head: the exact-fallback
+                # tail caught it, exactly as the soundness argument requires.
+                fallbacks=1 if matched and attempted > self.retrieval_top_k else 0,
+            )
+        if not matched:
             return RepairOutcome(
                 status=RepairStatus.NO_STRUCTURAL_MATCH,
                 detail="no correct solution with the same control flow",
@@ -472,6 +511,61 @@ StoredClustering`.
         if self._lazy_clusters is None:
             return self.clusters
         return self._lazy_clusters.clusters_for_program(program)
+
+    def _prefilter_candidates(
+        self, program: Program, candidates: "Sequence[Cluster]"
+    ) -> "tuple[Sequence[Cluster], Sequence[Cluster], bool, int]":
+        """Apply the nearest-cluster prefilter to the repair candidate set.
+
+        Returns ``(gate_order, search_candidates, ranked, skeleton_skipped)``:
+        the order in which the structural gate should probe candidates, the
+        set the cluster search may draw repairs from, whether the prefilter
+        actually ranked (counters are only recorded when it did), and how
+        many candidates the CFG-skeleton cut removed.
+
+        Soundness: the skeleton cut only drops clusters that provably fail
+        the Def. 4.1 test (skeleton equality is necessary for a structural
+        match — the same argument the lazy pager's segment pruning rests
+        on), and the ranking is a permutation that keeps every surviving
+        candidate, so both the gate verdict and the search's candidate pool
+        are unchanged — repairs stay field-identical.
+
+        Degrade path: a lazily attached store whose header lacks usable
+        vectors for some candidate (built before retrieval existed, or with
+        a foreign feature version) silently disables the prefilter for this
+        repair and counts one ``fallbacks`` tick.
+        """
+        if not self.retrieval_prefilter or not candidates:
+            return candidates, candidates, False, 0
+        if self._lazy_clusters is not None:
+            # Candidates are already skeleton-cut by the pager; rank them
+            # strictly from the header's persisted vectors (no recompute).
+            vectors = self._lazy_clusters.retrieval_vectors()
+            if any(cluster.cluster_id not in vectors for cluster in candidates):
+                self.caches.retrieval.record(fallbacks=1)
+                return candidates, candidates, False, 0
+            survivors: "Sequence[Cluster]" = candidates
+            skipped = 0
+
+            def vector_of(cluster: Cluster) -> tuple[int, ...]:
+                return vectors[cluster.cluster_id]
+
+        else:
+            skeleton = program.cfg_skeleton()[1]
+            survivors = [
+                cluster
+                for cluster in candidates
+                if cluster_skeleton(cluster) == skeleton
+            ]
+            skipped = len(candidates) - len(survivors)
+            vector_of = cluster_feature_vector
+        gate_order = ranked_candidates(
+            feature_vector(program),
+            survivors,
+            vector_of,
+            top_k=self.retrieval_top_k,
+        )
+        return gate_order, survivors, True, skipped
 
     def _search_clusters(
         self,

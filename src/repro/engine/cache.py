@@ -58,6 +58,7 @@ from ..ilp.fastpath import SolveCache
 from ..interpreter.compile import CompileCache
 from ..model.program import Program
 from ..model.trace import Trace
+from ..retrieval import RetrievalStats
 from ..ted import TedCache
 
 __all__ = ["CacheStats", "RepairCaches", "case_set_key", "freeze_key"]
@@ -194,6 +195,12 @@ class RepairCaches:
     #: ``__post_init__``; its ``enabled`` flag follows the caches' so
     #: uncached baselines re-solve every instance.
     solve: SolveCache | None = None
+    #: Nearest-cluster prefilter counters (:mod:`repro.retrieval`), filled
+    #: by the pipeline's structural gate and surfaced through ``batch
+    #: --profile`` and the service ``stats`` op.  Counters, not a cache:
+    #: they accumulate regardless of ``enabled`` (disabling the caches
+    #: must not silently disable prefilter accounting).
+    retrieval: RetrievalStats | None = None
     #: Optional per-phase profiler (``repro-clara batch --profile``); when
     #: attached, parse/match/candidate-gen/TED/ILP work is timed and counted.
     profiler: PhaseProfiler | None = None
@@ -219,6 +226,8 @@ class RepairCaches:
             self.compiled = CompileCache(enabled=self.enabled)
         if self.solve is None:
             self.solve = SolveCache(enabled=self.enabled)
+        if self.retrieval is None:
+            self.retrieval = RetrievalStats()
 
     # -- keys ------------------------------------------------------------------
 

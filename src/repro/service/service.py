@@ -531,6 +531,7 @@ class RepairService:
                     "ted": runtime.caches.ted.counters(),
                     "compile": runtime.caches.compiled.counters(),
                     "solve": runtime.caches.solve.counters(),
+                    "retrieval": runtime.caches.retrieval.as_dict(),
                 }
                 for runtime in self._problems.values()
             },

@@ -1,0 +1,6 @@
+"""Shared helpers for the test suite.
+
+``tests/`` itself has no ``__init__.py`` (pytest rootdir-inserts it on
+``sys.path``), so tests import these as ``from helpers.differential
+import ...``.
+"""

@@ -404,3 +404,73 @@ def test_load_rejects_version_1_stores(deriv_setup, tmp_path):
         load_clusters(v1, cases=problem.cases)
     with pytest.raises(ClusterStoreError, match="rebuild the store"):
         Clara(cases=problem.cases).load_clusters(v1)
+
+
+# -- retrieval vectors in the header: coverage reporting and degrade ------------------
+
+
+def _strip_retrieval(path, *, keep_all_but_one=False):
+    """Rewrite a store header without retrieval payloads (simulating a store
+    built before the prefilter existed), or with one vector removed."""
+    header = json.loads(path.read_text())
+    if keep_all_but_one:
+        for entry in header["segments"]:
+            vectors = (entry.get("retrieval") or {}).get("vectors") or {}
+            if vectors:
+                vectors.pop(sorted(vectors)[0])
+                break
+    else:
+        for entry in header["segments"]:
+            entry.pop("retrieval", None)
+    path.write_text(json.dumps(header, indent=2, sort_keys=True) + "\n")
+
+
+def test_cli_cluster_info_reports_retrieval_coverage(deriv_setup, tmp_path, capsys):
+    problem, _corpus, clara = deriv_setup
+    path = clara.save_clusters(tmp_path / "clusters.json", problem=problem.name)
+
+    assert cli_main(["cluster", "info", str(path)]) == 0
+    info = capsys.readouterr().out
+    assert f"retrieval:      vectors for all {clara.cluster_count} clusters" in info
+    assert "vectors=yes" in info and "vectors=no" not in info
+
+    partial = tmp_path / "partial.json"
+    clara.save_clusters(partial, problem=problem.name)
+    _strip_retrieval(partial, keep_all_but_one=True)
+    assert cli_main(["cluster", "info", str(partial)]) == 0
+    info = capsys.readouterr().out
+    assert (
+        f"vectors for {clara.cluster_count - 1}/{clara.cluster_count} clusters" in info
+    )
+    assert "prefilter falls back where absent" in info
+
+    _strip_retrieval(path)
+    assert cli_main(["cluster", "info", str(path)]) == 0
+    info = capsys.readouterr().out
+    assert "retrieval:      no vectors (store predates retrieval" in info
+    assert "vectors=no" in info and "vectors=yes" not in info
+
+
+def test_pre_retrieval_store_serves_identically_with_fallback_counted(
+    deriv_setup, tmp_path
+):
+    """A v3 header without retrieval payloads (built before this feature)
+    must keep repairing exactly as an eager load does — the prefilter just
+    turns itself off per lookup and counts ``fallbacks``."""
+    problem, corpus, clara = deriv_setup
+    path = clara.save_clusters(tmp_path / "clusters.json", problem=problem.name)
+    _strip_retrieval(path)
+
+    baseline = BatchRepairEngine(clara, workers=1).run(corpus.incorrect_sources)
+
+    fresh = Clara(cases=problem.cases)
+    degraded = BatchRepairEngine.from_store(path, fresh, workers=1).run(
+        corpus.incorrect_sources
+    )
+    assert [_outcome_key(r) for r in degraded.records] == [
+        _outcome_key(r) for r in baseline.records
+    ]
+    counters = fresh.caches.retrieval.as_dict()
+    assert counters["fallbacks"] > 0
+    assert counters["candidates_ranked"] == 0
+    assert counters["matches_attempted"] == 0

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import random
 
+from helpers.differential import assert_repairs_field_identical
+
 from repro.core.inputs import InputCase, program_traces
 from repro.core.repair import find_best_repair
 from repro.datasets import generate_corpus, get_problem
@@ -330,10 +332,7 @@ def test_repair_outcomes_identical_compiled_vs_interpreted():
         for p in attempts
     ]
 
-    def fields(repair):
-        return repair.comparable_fields() if repair is not None else None
-
-    assert [fields(r) for r in compiled] == [fields(r) for r in interpreted]
+    assert_repairs_field_identical(compiled, interpreted)
     assert caches.compiled.hits > 0  # the screening loop really compiled
 
 

@@ -14,6 +14,11 @@ import random
 
 import pytest
 
+from helpers.differential import (
+    assert_outcomes_field_identical,
+    assert_repairs_field_identical,
+)
+
 from repro.core.clustering import cluster_programs
 from repro.core.pipeline import Clara
 from repro.core.repair import find_best_repair
@@ -475,10 +480,6 @@ def test_disabled_solve_cache_counts_misses_and_stores_nothing():
 # -- differential end to end: SolveCache on vs off ------------------------------------
 
 
-def _fields(repair):
-    return repair.comparable_fields() if repair is not None else None
-
-
 def test_repair_outcomes_identical_with_solve_cache_on_vs_off():
     """find_best_repair over a corpus (with duplicated attempts, the MOOC
     redundancy the memo targets) is field-identical with the SolveCache
@@ -501,7 +502,7 @@ def test_repair_outcomes_identical_with_solve_cache_on_vs_off():
         find_best_repair(p, clusters, caches=cached) for p in attempts
     ]
 
-    assert [_fields(r) for r in memoized] == [_fields(r) for r in baseline]
+    assert_repairs_field_identical(memoized, baseline)
     assert cached.solve.hits > 0, "duplicated attempts must hit the solve memo"
     assert cached.solve.hits + cached.solve.misses == uncached.solve.misses
     assert cached.solve.nodes_explored < uncached.solve.nodes_explored
@@ -523,9 +524,4 @@ def test_pipeline_feedback_identical_with_solve_cache_on_vs_off():
 
     baseline, memoized = outcomes
     assert len(baseline) == len(memoized)
-    for off, on in zip(baseline, memoized):
-        assert off.status == on.status
-        assert _fields(off.repair) == _fields(on.repair)
-        off_text = off.feedback.text() if off.feedback is not None else None
-        on_text = on.feedback.text() if on.feedback is not None else None
-        assert off_text == on_text
+    assert_outcomes_field_identical(memoized, baseline)

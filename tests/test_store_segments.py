@@ -14,6 +14,8 @@ import json
 
 import pytest
 
+from helpers.differential import report_rows
+
 from repro import Clara
 from repro.clusterstore import (
     ClusterStore,
@@ -145,11 +147,7 @@ def test_family_attempt_skips_the_two_loop_segment(spec, store_path):
 
 def test_lazy_and_eager_loads_repair_identically(spec, corpus, store_path):
     def rows(engine):
-        report = engine.run(list(corpus.incorrect_sources) + [TWO_LOOP_BROKEN])
-        return [
-            (r.status, r.cost, r.relative_size, r.num_modified, r.feedback)
-            for r in report.records
-        ]
+        return report_rows(engine.run(list(corpus.incorrect_sources) + [TWO_LOOP_BROKEN]))
 
     lazy = BatchRepairEngine.from_store(store_path, _fresh(spec), workers=1)
     eager = BatchRepairEngine.from_store(store_path, _fresh(spec), workers=1, lazy=False)
