@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench tier1 lint clean
+.PHONY: test bench tier1 lint batch-parallel-smoke clean
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -11,6 +11,12 @@ bench:
 
 tier1:
 	$(PYTHON) -m pytest -x -q
+
+# Mirror of the CI batch-parallel-smoke job: drive the real CLI with
+# --processes 2 vs --processes 1 and require identical reports and
+# deterministic profile counter sections.
+batch-parallel-smoke:
+	$(PYTHON) tools/parallel_smoke.py
 
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples

@@ -12,6 +12,8 @@ Public API highlights:
 * :class:`repro.core.InputCase` — a test input with expected behaviour.
 * :class:`repro.engine.BatchRepairEngine` — concurrent corpus repair with
   shared trace/match/repair caching and aggregate reporting.
+* :class:`repro.engine.ProcessBatchEngine` — the same corpus repair sharded
+  across worker subprocesses (multi-core) with deterministic counter merging.
 * :class:`repro.service.RepairService` — the resident daemon: warm
   per-problem engines behind an asyncio NDJSON front door
   (``repro-clara serve``), with incremental
@@ -36,7 +38,7 @@ from .core import (
     is_correct,
 )
 from .clusterstore import ClusterStore
-from .engine import BatchRepairEngine, BatchReport, RepairCaches
+from .engine import BatchRepairEngine, BatchReport, ProcessBatchEngine, RepairCaches
 from .frontend import parse_source
 from .service import RepairService, ServiceClient
 
@@ -47,6 +49,7 @@ __all__ = [
     "BatchReport",
     "Clara",
     "ClusterStore",
+    "ProcessBatchEngine",
     "RepairService",
     "ServiceClient",
     "Feedback",

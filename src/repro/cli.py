@@ -13,6 +13,8 @@ Examples::
     repro-clara cluster import clusters-v2.json --output clusters.json
     repro-clara batch --problem derivatives --attempts submissions/ \
         --clusters clusters.json --workers 4 --output report.jsonl
+    repro-clara batch --problem derivatives --attempts submissions/ \
+        --clusters clusters.json --processes 4 --profile
     repro-clara serve --clusters clusters.json --port 9172
     repro-clara serve --clusters a.json --clusters b.json --fleet 2
     repro-clara list-problems
@@ -107,7 +109,7 @@ def _cmd_list_problems(_args: argparse.Namespace) -> int:
 
 def _cmd_repair(args: argparse.Namespace) -> int:
     spec = get_problem(args.problem)
-    source = Path(args.file).read_text()
+    source = Path(args.file).read_text(encoding="utf-8")
     corpus = generate_corpus(spec, args.correct, 0, seed=args.seed)
     clara = Clara(cases=spec.cases, language=spec.language, entry=spec.entry)
     clara.add_correct_sources(corpus.correct_sources)
@@ -126,16 +128,20 @@ def _load_attempts(path: Path, language: str) -> list[BatchAttempt]:
     * ``*.jsonl`` file — one JSON object per line with a ``source`` field and
       an optional ``id``;
     * any other file — a single attempt.
+
+    All reads are explicit UTF-8 (student sources routinely carry
+    non-ASCII identifiers, string literals and comments); relying on the
+    platform default encoding would corrupt them on non-UTF-8 locales.
     """
     if path.is_dir():
         pattern = "*.c" if language == "c" else "*.py"
         return [
-            BatchAttempt(attempt_id=entry.name, source=entry.read_text())
+            BatchAttempt(attempt_id=entry.name, source=entry.read_text(encoding="utf-8"))
             for entry in sorted(path.glob(pattern))
         ]
     if path.suffix == ".jsonl":
         attempts: list[BatchAttempt] = []
-        for index, line in enumerate(path.read_text().splitlines()):
+        for index, line in enumerate(path.read_text(encoding="utf-8").splitlines()):
             if not line.strip():
                 continue
             record = json.loads(line)
@@ -150,7 +156,7 @@ def _load_attempts(path: Path, language: str) -> list[BatchAttempt]:
                 )
             )
         return attempts
-    return [BatchAttempt(attempt_id=path.name, source=path.read_text())]
+    return [BatchAttempt(attempt_id=path.name, source=path.read_text(encoding="utf-8"))]
 
 
 def _cmd_cluster_build(args: argparse.Namespace) -> int:
@@ -289,6 +295,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
+    if args.processes < 1:
+        print(f"--processes must be >= 1, got {args.processes}", file=sys.stderr)
+        return 2
+    if args.processes > 1 and not args.clusters:
+        # Worker subprocesses rebuild their pipelines from the store header's
+        # problem name; there is no way to ship a freshly generated pool.
+        print("--processes > 1 requires --clusters", file=sys.stderr)
+        return 2
     try:
         spec = get_problem(args.problem)
     except KeyError as exc:
@@ -312,18 +326,23 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         entry=spec.entry,
         retrieval_prefilter=not args.no_prefilter,
     )
-    profiler = None
     if args.profile:
         from .core.profile import PhaseProfiler
 
-        profiler = PhaseProfiler()
-        clara.caches.profiler = profiler
+        clara.caches.profiler = PhaseProfiler()
     if args.clusters:
         try:
             engine = BatchRepairEngine.from_store(
-                args.clusters, clara, workers=args.workers, budget=args.budget
+                args.clusters,
+                clara,
+                workers=args.workers,
+                budget=args.budget,
+                processes=args.processes,
             )
-        except ClusterStoreError as exc:
+        except (ClusterStoreError, ValueError) as exc:
+            # ValueError: --processes > 1 against a store that names no
+            # problem (workers could not rebuild their pipelines) or whose
+            # language contradicts --problem's.
             print(str(exc), file=sys.stderr)
             return 2
     else:
@@ -339,9 +358,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     histogram = ", ".join(
         f"{status}={count}" for status, count in summary["status_histogram"].items()
     )
+    parallelism = (
+        f"{args.processes} processes"
+        if args.processes > 1
+        else f"{args.workers} workers"
+    )
     print(
         f"batch: {summary['attempts']} attempts in {summary['wall_time']:.2f}s "
-        f"({summary['attempts_per_second']:.2f}/s, {args.workers} workers)",
+        f"({summary['attempts_per_second']:.2f}/s, {parallelism})",
         file=sys.stderr,
     )
     print(f"statuses: {histogram}", file=sys.stderr)
@@ -357,19 +381,28 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         ),
         file=sys.stderr,
     )
-    if profiler is not None:
-        profile_path = _write_batch_profile(args, spec, profiler, clara, report)
+    if args.profile:
+        # Process runs attach their merged sections to the report; in-process
+        # runs read them off the live pipeline.  Same payload shape either
+        # way (Clara.counters_payload), which is what lets the CI smoke job
+        # diff the two files section by section.
+        sections = report.profile if report.profile is not None else clara.counters_payload()
+        profile_path = _write_batch_profile(args, spec, report, sections)
         breakdown = ", ".join(
-            f"{phase}={seconds:.3f}s" for phase, seconds in profiler.timings().items()
+            f"{phase}={seconds:.3f}s"
+            for phase, seconds in sections["phases"]["timings"].items()
         )
         print(f"profile: {breakdown or '(no instrumented work ran)'}", file=sys.stderr)
         print(f"profile report -> {profile_path}", file=sys.stderr)
     return 0
 
 
-def _write_batch_profile(args, spec, profiler, clara, report) -> Path:
+def _write_batch_profile(args, spec, report, sections) -> Path:
     """Write the per-phase timing/counter breakdown to ``results/local/``.
 
+    ``sections`` is a :meth:`repro.core.pipeline.Clara.counters_payload`
+    dict — from the live pipeline for in-process runs, or the merged
+    per-worker payload (``report.profile``) for ``--processes > 1``.
     Timings are machine-dependent, so the report goes to the gitignored
     local results directory (created relative to the working directory when
     run outside the repository).
@@ -378,19 +411,20 @@ def _write_batch_profile(args, spec, profiler, clara, report) -> Path:
         "problem": spec.name,
         "attempts": len(report.records),
         "workers": args.workers,
-        "phases": profiler.as_dict(),
-        "ted": clara.caches.ted.counters(),
-        "compile": clara.caches.compiled.counters(),
-        "solve": clara.caches.solve.counters(),
+        "processes": args.processes,
+        "phases": sections["phases"],
+        "ted": sections["ted"],
+        "compile": sections["compile"],
+        "solve": sections["solve"],
         "cache": report.cache_stats.as_dict(),
-        "cache_entries": clara.caches.entry_counts(),
-        "store_paging": clara.store_paging(),
-        "retrieval": clara.caches.retrieval.as_dict(),
+        "cache_entries": sections["cache_entries"],
+        "store_paging": sections["store_paging"],
+        "retrieval": sections["retrieval"],
     }
     directory = Path("results") / "local"
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / "batch_profile.json"
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     return path
 
 
@@ -612,6 +646,17 @@ def build_parser() -> argparse.ArgumentParser:
         "or a single source file",
     )
     p_batch.add_argument("--workers", type=int, default=4, help="worker threads")
+    p_batch.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard the corpus across N worker subprocesses, each repairing "
+        "its CFG-skeleton-aligned shard single-threaded with its own warm "
+        "caches; the merged report and --profile counters are identical to "
+        "a single-process run (requires --clusters; --workers is then "
+        "ignored). Default 1 = repair in this process.",
+    )
     p_batch.add_argument(
         "--budget", type=float, default=None, help="per-attempt budget in seconds"
     )

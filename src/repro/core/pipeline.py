@@ -391,6 +391,37 @@ StoredClustering`.
             return None
         return self._lazy_clusters.paging_counters()
 
+    def counters_payload(self) -> dict:
+        """All deterministic counter sections of this pipeline, as one dict.
+
+        The single vocabulary shared by ``batch --profile`` (which writes
+        it to ``results/local/batch_profile.json``) and the
+        process-parallel batch workers (which ship it over the pipe so the
+        parent can merge shard payloads by commutative sum,
+        :mod:`repro.engine.parallel`).  Sections: ``phases`` (the attached
+        :class:`~repro.core.profile.PhaseProfiler`, empty when none),
+        ``ted``/``compile``/``solve`` cache counters, ``cache_entries``,
+        ``store_paging`` (``None`` unless a lazy store is attached) and
+        ``retrieval``.  Everything here is deterministic for a fixed
+        sequence of repairs on a single-threaded engine — timings inside
+        ``phases`` are the one machine-dependent part and never leave
+        ``results/local/``.
+        """
+        profiler = self.caches.profiler
+        return {
+            "phases": (
+                profiler.as_dict()
+                if profiler is not None
+                else {"counters": {}, "timings": {}}
+            ),
+            "ted": self.caches.ted.counters(),
+            "compile": self.caches.compiled.counters(),
+            "solve": self.caches.solve.counters(),
+            "cache_entries": self.caches.entry_counts(),
+            "store_paging": self.store_paging(),
+            "retrieval": self.caches.retrieval.as_dict(),
+        }
+
     @staticmethod
     def _restrict_to_representative(cluster: Cluster) -> None:
         representative = cluster.representative

@@ -19,6 +19,14 @@ through :func:`profiled`, which is a no-op for ``profiler=None``.
 Counters are deterministic for a given corpus and single-worker run, which
 is what the CI fast-tests exercise; timings are machine-dependent and only
 ever written to the gitignored ``results/local/``.
+
+Profilers are mergeable: :meth:`PhaseProfiler.merge` sums two accumulators
+field by field (commutative, with a fresh profiler as the identity) and
+:meth:`PhaseProfiler.diff` subtracts one snapshot from another.  The
+process-parallel batch engine (:mod:`repro.engine.parallel`) relies on
+merge to fold per-worker profiler payloads — shipped across the pipe as
+:meth:`as_dict` / :meth:`from_dict` — into one report whose *counters*
+equal the single-process run exactly.
 """
 
 from __future__ import annotations
@@ -85,6 +93,67 @@ class PhaseProfiler:
     def as_dict(self) -> dict:
         """``{"counters": {...}, "timings": {...}}`` for JSON reports."""
         return {"counters": self.counters(), "timings": self.timings()}
+
+    # -- algebra ---------------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PhaseProfiler":
+        """Rebuild a profiler from an :meth:`as_dict` payload.
+
+        The inverse of :meth:`as_dict` (modulo its 6-decimal timing
+        rounding); this is how per-worker profilers cross the process
+        boundary in :mod:`repro.engine.parallel`.  Unknown payload shapes
+        (missing keys) read as empty sections.
+        """
+        profiler = cls()
+        for phase, seconds in (payload.get("timings") or {}).items():
+            profiler._seconds[phase] = float(seconds)
+        for phase, calls in (payload.get("counters") or {}).items():
+            profiler._calls[phase] = int(calls)
+        return profiler
+
+    def merge(self, other: "PhaseProfiler") -> "PhaseProfiler":
+        """Return a new profiler with both operands' phases summed.
+
+        Commutative (``a.merge(b)`` equals ``b.merge(a)``) with a fresh
+        profiler as the identity, so folding any permutation of per-worker
+        profilers yields the same counters — the property the
+        process-parallel batch merge rests on.  Neither operand is
+        mutated.
+        """
+        merged = PhaseProfiler()
+        with self._lock:
+            merged._seconds.update(self._seconds)
+            merged._calls.update(self._calls)
+        with other._lock:
+            for phase, seconds in other._seconds.items():
+                merged._seconds[phase] = merged._seconds.get(phase, 0.0) + seconds
+            for phase, calls in other._calls.items():
+                merged._calls[phase] = merged._calls.get(phase, 0) + calls
+        return merged
+
+    def diff(self, other: "PhaseProfiler") -> "PhaseProfiler":
+        """Return a new profiler holding ``self - other`` per phase.
+
+        The inverse of :meth:`merge` (``a.merge(b).diff(b)`` reports the
+        same values as ``a``): use it to isolate the work done between two
+        snapshots.  Phases that cancel to exactly zero are pruned — so the
+        inverse law holds even for phases only ``other`` knew — while a
+        *negative* residue is kept visible rather than silently dropped.
+        Neither operand is mutated.
+        """
+        result = PhaseProfiler()
+        with self._lock:
+            result._seconds.update(self._seconds)
+            result._calls.update(self._calls)
+        with other._lock:
+            for phase, seconds in other._seconds.items():
+                result._seconds[phase] = result._seconds.get(phase, 0.0) - seconds
+            for phase, calls in other._calls.items():
+                result._calls[phase] = result._calls.get(phase, 0) - calls
+        result._seconds = {p: s for p, s in result._seconds.items() if s != 0.0}
+        result._calls = {p: c for p, c in result._calls.items() if c != 0}
+        return result
 
 
 @contextmanager

@@ -7,7 +7,10 @@ this package scales it to corpora.  It contributes two pieces:
   of traces, correctness checks, structural matches and whole repairs;
 * :mod:`repro.engine.batch` — :class:`BatchRepairEngine` and
   :class:`BatchReport`, concurrent repair of many attempts with per-attempt
-  budgets and aggregate statistics.
+  budgets and aggregate statistics;
+* :mod:`repro.engine.parallel` — :class:`ProcessBatchEngine`, the
+  multi-core path: skeleton-aligned shards across worker subprocesses
+  (:mod:`repro.engine.worker`) with deterministic counter merging.
 
 The dependency direction is ``engine → core``; the one place the core calls
 back (``Clara.repair_source`` delegating to a batch of size 1) imports this
@@ -16,6 +19,7 @@ package lazily to keep the layering acyclic.
 
 from .batch import BatchAttempt, BatchRecord, BatchRepairEngine, BatchReport
 from .cache import CacheStats, RepairCaches, case_set_key, freeze_key
+from .parallel import ProcessBatchEngine
 
 __all__ = [
     "BatchAttempt",
@@ -23,6 +27,7 @@ __all__ = [
     "BatchRepairEngine",
     "BatchReport",
     "CacheStats",
+    "ProcessBatchEngine",
     "RepairCaches",
     "case_set_key",
     "freeze_key",

@@ -18,6 +18,10 @@ JSONL for downstream analysis (see the ``batch`` subcommand of
 
 Single-attempt repair is the batch-size-1 case:
 ``Clara.repair_source(src)`` simply runs an engine over ``[src]``.
+
+For multi-core corpus runs, :mod:`repro.engine.parallel` shards a batch
+across worker *processes* (each wrapping this engine single-threaded) and
+merges the per-shard reports back into one :class:`BatchReport`.
 """
 
 from __future__ import annotations
@@ -101,6 +105,12 @@ class BatchReport:
     wall_time: float
     workers: int
     cache_stats: CacheStats
+    #: Merged per-phase/cache/retrieval/paging counter sections attached by
+    #: :class:`repro.engine.parallel.ProcessBatchEngine` (the same shape
+    #: :meth:`repro.core.pipeline.Clara.counters_payload` produces);
+    #: ``None`` for in-process runs, where the CLI reads the sections off
+    #: the live pipeline instead.  Not part of the JSONL serialisation.
+    profile: dict | None = None
 
     # -- aggregates -------------------------------------------------------------
 
@@ -159,9 +169,15 @@ class BatchReport:
         return "\n".join(lines) + "\n"
 
     def write_jsonl(self, path: str | Path) -> Path:
-        """Write :meth:`to_jsonl` to ``path`` and return it."""
+        """Write :meth:`to_jsonl` to ``path`` (UTF-8) and return it.
+
+        The encoding is explicit: report fields (attempt ids, failure
+        details, feedback) may carry non-ASCII text from student sources,
+        and a platform-default-encoded report would not round-trip on
+        machines whose locale is not UTF-8.
+        """
         path = Path(path)
-        path.write_text(self.to_jsonl())
+        path.write_text(self.to_jsonl(), encoding="utf-8")
         return path
 
 
@@ -178,10 +194,16 @@ class BatchRepairEngine:
             pipeline's ``timeout`` when given.  Attempts exceeding it are
             reported with status ``timeout``.
 
-    Threads rather than processes are used because attempts share the
-    cluster state and caches; the workloads release no GIL, so the speedup
-    on CPU-bound corpora comes from the caches, while I/O-free scheduling
-    overhead stays negligible.
+    The worker pool is made of *threads sharing one pipeline*: every worker
+    sees the same cluster state and the same :class:`RepairCaches`, which is
+    what deduplicates MOOC-shaped corpora (and what the resident service
+    relies on for warm duplicate hits).  The repair hot path is pure Python
+    and releases no GIL, so threads buy cache sharing and I/O-free
+    scheduling — not CPU parallelism.  To put more *cores* on a corpus, use
+    :class:`repro.engine.parallel.ProcessBatchEngine` (``batch --processes
+    N``): it shards the corpus across spawned worker processes, each running
+    this engine single-threaded over shared-nothing caches, and merges the
+    per-shard reports and counters deterministically.
 
     Thread safety: :meth:`run` may be called repeatedly (each call snapshots
     cache counters independently), and several engines may share one
@@ -213,6 +235,7 @@ class BatchRepairEngine:
         workers: int = DEFAULT_WORKERS,
         budget: float | None = None,
         lazy: bool = True,
+        processes: int = 1,
     ) -> "BatchRepairEngine":
         """Build an engine from a persisted cluster store.
 
@@ -229,7 +252,30 @@ class BatchRepairEngine:
         provably contain no repair candidate — and the paging counters show
         up in ``batch --profile`` output.  Pass ``lazy=False`` to read every
         segment up front (:meth:`repro.core.pipeline.Clara.load_clusters`).
+
+        With ``processes > 1`` this returns a
+        :class:`repro.engine.parallel.ProcessBatchEngine` instead: the
+        corpus is sharded across that many spawned worker processes, each
+        opening the store header-only with its own warm caches and
+        repairing its shard single-threaded.  ``clara`` then only supplies
+        configuration (language check, prefilter settings, attached
+        profiler) — it is *not* attached to the store, and ``workers`` /
+        ``lazy`` are ignored (each worker process is single-threaded and
+        lazy by construction).  The store must name a registered problem,
+        as the workers rebuild their pipelines from the dataset registry.
         """
+        if processes > 1:
+            from .parallel import ProcessBatchEngine
+
+            return ProcessBatchEngine(
+                clusters_path,
+                processes=processes,
+                budget=budget,
+                profile=clara.caches.profiler is not None,
+                retrieval_prefilter=clara.retrieval_prefilter,
+                retrieval_top_k=clara.retrieval_top_k,
+                language=clara.language,
+            )
         if lazy:
             from ..clusterstore.store import open_lazy
 
@@ -279,7 +325,7 @@ class BatchRepairEngine:
             outcomes=outcomes,
             wall_time=wall_time,
             workers=self.workers,
-            cache_stats=_stats_delta(before, after),
+            cache_stats=after.diff(before),
         )
 
     # -- internals ----------------------------------------------------------------
@@ -327,14 +373,3 @@ class BatchRepairEngine:
         if outcome.feedback is not None:
             record.feedback = [entry.message for entry in outcome.feedback.items]
         return record
-
-
-def _stats_delta(before: CacheStats, after: CacheStats) -> CacheStats:
-    return CacheStats(
-        trace_hits=after.trace_hits - before.trace_hits,
-        trace_misses=after.trace_misses - before.trace_misses,
-        match_hits=after.match_hits - before.match_hits,
-        match_misses=after.match_misses - before.match_misses,
-        repair_hits=after.repair_hits - before.repair_hits,
-        repair_misses=after.repair_misses - before.repair_misses,
-    )

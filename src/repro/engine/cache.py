@@ -162,6 +162,56 @@ class CacheStats:
             repair_misses=self.repair_misses,
         )
 
+    # -- algebra ---------------------------------------------------------------
+
+    _COUNTER_FIELDS = (
+        "trace_hits",
+        "trace_misses",
+        "match_hits",
+        "match_misses",
+        "repair_hits",
+        "repair_misses",
+    )
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CacheStats":
+        """Rebuild counters from an :meth:`as_dict` payload (rates ignored).
+
+        The hit rates are derived values and are recomputed from the
+        counters, so ``CacheStats.from_dict(stats.as_dict())`` round-trips
+        exactly; this is how per-worker cache deltas cross the process
+        boundary in :mod:`repro.engine.parallel`.
+        """
+        return cls(**{name: int(payload.get(name, 0)) for name in cls._COUNTER_FIELDS})
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Return a new snapshot with both operands' counters summed.
+
+        Commutative, with ``CacheStats()`` as the identity — folding any
+        permutation of per-worker deltas yields the same totals (and hence
+        the same derived hit rates).  Neither operand is mutated.
+        """
+        return CacheStats(
+            **{
+                name: getattr(self, name) + getattr(other, name)
+                for name in self._COUNTER_FIELDS
+            }
+        )
+
+    def diff(self, other: "CacheStats") -> "CacheStats":
+        """Return a new snapshot holding ``self - other`` per counter.
+
+        The inverse of :meth:`merge`; the batch engine uses it to isolate
+        the counters accumulated *during* one run from whatever the shared
+        caches saw before it started.
+        """
+        return CacheStats(
+            **{
+                name: getattr(self, name) - getattr(other, name)
+                for name in self._COUNTER_FIELDS
+            }
+        )
+
 
 @dataclass
 class RepairCaches:

@@ -144,10 +144,47 @@ class RetrievalStats:
 
     def snapshot(self) -> "RetrievalStats":
         """An independent copy of the current counter values."""
-        values = self.as_dict()
+        return self.from_dict(self.as_dict())
+
+    # -- algebra ---------------------------------------------------------------
+
+    _COUNTER_FIELDS = (
+        "candidates_ranked",
+        "matches_attempted",
+        "matches_skipped",
+        "fallbacks",
+    )
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RetrievalStats":
+        """Rebuild counters from an :meth:`as_dict` payload.
+
+        The exact inverse of :meth:`as_dict`; this is how per-worker
+        retrieval counters cross the process boundary in
+        :mod:`repro.engine.parallel`.
+        """
+        return cls(**{name: int(payload.get(name, 0)) for name in cls._COUNTER_FIELDS})
+
+    def merge(self, other: "RetrievalStats") -> "RetrievalStats":
+        """Return a new snapshot with both operands' counters summed.
+
+        Commutative, with ``RetrievalStats()`` as the identity: each repair
+        contributes a fixed per-attempt amount, so folding per-worker
+        snapshots in any order reproduces the single-process totals.
+        Neither operand is mutated.
+        """
+        mine, theirs = self.as_dict(), other.as_dict()
         return RetrievalStats(
-            candidates_ranked=values["candidates_ranked"],
-            matches_attempted=values["matches_attempted"],
-            matches_skipped=values["matches_skipped"],
-            fallbacks=values["fallbacks"],
+            **{name: mine[name] + theirs[name] for name in self._COUNTER_FIELDS}
+        )
+
+    def diff(self, other: "RetrievalStats") -> "RetrievalStats":
+        """Return a new snapshot holding ``self - other`` per counter.
+
+        The inverse of :meth:`merge`, for isolating the counters one run
+        accumulated on a long-lived shared instance.
+        """
+        mine, theirs = self.as_dict(), other.as_dict()
+        return RetrievalStats(
+            **{name: mine[name] - theirs[name] for name in self._COUNTER_FIELDS}
         )

@@ -242,3 +242,47 @@ def test_cli_batch_profile_writes_phase_breakdown(tmp_path, capsys, monkeypatch)
     # Profiling must not change outcomes.
     record = json.loads(report_path.read_text().splitlines()[0])
     assert record["status"] == "repaired"
+
+
+def test_cli_batch_report_utf8_round_trips_non_ascii_sources(tmp_path):
+    import json
+
+    # Non-ASCII identifiers, comments and (on failure paths) detail strings
+    # must survive attempt loading and report writing byte-exactly on any
+    # locale — both sides are explicit UTF-8.
+    source = (
+        "def computeDeriv(poly):\n"
+        "    # dérivée du polynôme — café ☕\n"
+        "    rés = []\n"
+        "    for i in range(1, len(poly)):\n"
+        "        rés.append(float(i*poly[i]))\n"
+        "    if rés == []:\n"
+        "        return [0.0]\n"
+        "    return rés\n"
+    )
+    attempts = tmp_path / "attempts.jsonl"
+    attempts.write_text(
+        json.dumps({"id": "élève-1", "source": source}, ensure_ascii=False) + "\n",
+        encoding="utf-8",
+    )
+    report_path = tmp_path / "rapport.jsonl"
+    code = main(
+        [
+            "batch",
+            "--problem",
+            "derivatives",
+            "--attempts",
+            str(attempts),
+            "--correct",
+            "4",
+            "--output",
+            str(report_path),
+        ]
+    )
+    assert code == 0
+    # The report decodes as UTF-8 (an exception here is the regression this
+    # test guards against) and the non-ASCII attempt id round-trips.
+    lines = report_path.read_text(encoding="utf-8").splitlines()
+    record = json.loads(lines[0])
+    assert record["attempt_id"] == "élève-1"
+    assert record["status"] in ("repaired", "already-correct")
